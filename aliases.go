@@ -1,0 +1,200 @@
+package dcnr
+
+// This file re-exports the library's domain types and constants so that
+// downstream code can name them without reaching into internal packages.
+// All aliases are true type aliases: values flow freely between the facade
+// and the internal implementations.
+
+import (
+	"dcnr/internal/backbone"
+	"dcnr/internal/core"
+	"dcnr/internal/fleet"
+	"dcnr/internal/remediation"
+	"dcnr/internal/sev"
+	"dcnr/internal/stats"
+	"dcnr/internal/tickets"
+	"dcnr/internal/topology"
+)
+
+// Study period bounds.
+const (
+	// FirstYear is the first year of the intra-DC study period.
+	FirstYear = fleet.FirstYear
+	// LastYear is the final year of the intra-DC study period.
+	LastYear = fleet.LastYear
+	// FabricDeployYear is when the fabric design enters the fleet.
+	FabricDeployYear = fleet.FabricDeployYear
+	// AutomatedRepairYear is when automated remediation was enabled.
+	AutomatedRepairYear = fleet.AutomatedRepairYear
+)
+
+// DeviceType identifies a network device type (RSW, CSW, …, Core).
+type DeviceType = topology.DeviceType
+
+// Device type constants, in the paper's display order.
+const (
+	RSW  = topology.RSW
+	CSW  = topology.CSW
+	CSA  = topology.CSA
+	FSW  = topology.FSW
+	SSW  = topology.SSW
+	ESW  = topology.ESW
+	Core = topology.Core
+	BBR  = topology.BBR
+)
+
+// DeviceTypes lists every device type; IntraDCTypes the intra-DC subset.
+var (
+	DeviceTypes  = topology.DeviceTypes
+	IntraDCTypes = topology.IntraDCTypes
+)
+
+// Design identifies a network design generation.
+type Design = topology.Design
+
+// Network design constants.
+const (
+	DesignShared  = topology.DesignShared
+	DesignCluster = topology.DesignCluster
+	DesignFabric  = topology.DesignFabric
+)
+
+// Severity is a SEV level (Sev1 highest, Sev3 lowest).
+type Severity = sev.Severity
+
+// Severity constants.
+const (
+	Sev1 = sev.Sev1
+	Sev2 = sev.Sev2
+	Sev3 = sev.Sev3
+)
+
+// Severities lists the SEV levels from most to least severe.
+var Severities = sev.Severities
+
+// RootCause is a Table 2 root-cause category.
+type RootCause = sev.RootCause
+
+// Root-cause constants (Table 2).
+const (
+	Maintenance   = sev.Maintenance
+	Hardware      = sev.Hardware
+	Configuration = sev.Configuration
+	Bug           = sev.Bug
+	Accident      = sev.Accident
+	Capacity      = sev.Capacity
+	Undetermined  = sev.Undetermined
+)
+
+// RootCauses lists the categories in Table 2 order.
+var RootCauses = sev.RootCauses
+
+// SEVReport is one service-level event report (§4.2).
+type SEVReport = sev.Report
+
+// SEVStore holds SEV reports and answers aggregate queries.
+type SEVStore = sev.Store
+
+// NewSEVStore returns an empty SEV store.
+func NewSEVStore() *SEVStore { return sev.NewStore() }
+
+// Fleet models device populations over the study period.
+type Fleet = fleet.Model
+
+// NewFleet returns a fleet model at the given population scale (>= 1).
+func NewFleet(scale int) *Fleet { return fleet.New(scale) }
+
+// IntraAnalysis computes the §5 statistics over a SEV dataset.
+type IntraAnalysis = core.IntraAnalysis
+
+// NewIntraAnalysis pairs a SEV dataset with its fleet model.
+func NewIntraAnalysis(store *SEVStore, fl *Fleet) *IntraAnalysis {
+	return core.NewIntraAnalysis(store, fl)
+}
+
+// InterAnalysis computes the §6 statistics over reconstructed vendor
+// tickets.
+type InterAnalysis = core.InterAnalysis
+
+// NewInterAnalysis builds the inter-DC analysis over reconstructed
+// downtime intervals, using the backbone inventory to enumerate links.
+func NewInterAnalysis(topo *BackboneTopology, downs []Downtime, windowHours float64) (*InterAnalysis, error) {
+	return core.NewInterAnalysis(topo, downs, windowHours)
+}
+
+// SeverityShare is one severity level's slice of Figure 4.
+type SeverityShare = core.SeverityShare
+
+// ClaimResult grades one of the paper's headline claims against a dataset
+// (see IntraAnalysis.VerifyIntraClaims and InterAnalysis.VerifyInterClaims).
+type ClaimResult = core.ClaimResult
+
+// ContinentStats is one row of Table 4.
+type ContinentStats = core.ContinentStats
+
+// RemediationStats aggregates Table 1's per-device-type columns.
+type RemediationStats = remediation.TypeStats
+
+// FaultClass is the remediation taxonomy of §4.1.3.
+type FaultClass = remediation.FaultClass
+
+// BackboneConfig sizes the backbone and its simulation window.
+type BackboneConfig = backbone.Config
+
+// DefaultBackboneConfig returns the study-sized configuration (120 edges,
+// 24 vendors, 18 months).
+func DefaultBackboneConfig() BackboneConfig { return backbone.DefaultConfig() }
+
+// BackboneTopology is a generated backbone inventory.
+type BackboneTopology = backbone.Topology
+
+// Continent locates an edge geographically (Table 4).
+type Continent = backbone.Continent
+
+// Continent constants.
+const (
+	NorthAmerica = backbone.NorthAmerica
+	Europe       = backbone.Europe
+	Asia         = backbone.Asia
+	SouthAmerica = backbone.SouthAmerica
+	Africa       = backbone.Africa
+	Australia    = backbone.Australia
+)
+
+// Continents lists all continents in Table 4 order.
+var Continents = backbone.Continents
+
+// Notice is one vendor repair notification.
+type Notice = tickets.Notice
+
+// Downtime is one reconstructed link downtime interval.
+type Downtime = tickets.Downtime
+
+// TicketCollector pairs repair notices into downtime intervals.
+type TicketCollector = tickets.Collector
+
+// NewTicketCollector returns an empty collector.
+func NewTicketCollector() *TicketCollector { return tickets.NewCollector() }
+
+// ParseNotice decodes a vendor notice from its structured-email form.
+func ParseNotice(text string) (Notice, error) { return tickets.Parse(text) }
+
+// Point is an (X, Y) observation used by curves and fits.
+type Point = stats.Point
+
+// ExpFit is an exponential model y = A·e^(B·x) with its R².
+type ExpFit = stats.ExpFit
+
+// FitExponential fits y = A·e^(B·x) by least squares on log y, the §6.1
+// modeling method.
+func FitExponential(pts []Point) (ExpFit, error) { return stats.FitExponential(pts) }
+
+// Curve converts a name→value metric into its percentile curve (Figures
+// 15–18).
+func Curve(metric map[string]float64) []Point { return core.Curve(metric) }
+
+// FitCurve fits the exponential model to a metric's percentile curve.
+func FitCurve(metric map[string]float64) (ExpFit, error) { return core.FitCurve(metric) }
+
+// CompletenessIssues returns the §4.2 review findings for a report.
+func CompletenessIssues(r *SEVReport) []string { return sev.CompletenessIssues(r) }

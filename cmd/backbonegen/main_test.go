@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestRunSmallPipeline(t *testing.T) {
+	// A small end-to-end run over a real loopback socket.
+	if err := run(5, 12, 3, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	if err := run(1, 2, 3, "127.0.0.1:0"); err == nil {
+		t.Error("too-few-edges config accepted")
+	}
+	if err := run(1, 12, 3, "256.0.0.1:99999"); err == nil {
+		t.Error("invalid listen address accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcnr"
+)
+
+func TestRunWritesDatasets(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(3, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	// The SEV dataset loads back and covers the study period.
+	f, err := os.Open(filepath.Join(dir, "sevs.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	store := dcnr.NewSEVStore()
+	if err := store.ReadJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() < 300 {
+		t.Errorf("SEV dataset has only %d reports", store.Len())
+	}
+	// The ticket archive parses notice by notice.
+	data, err := os.ReadFile(filepath.Join(dir, "tickets.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty ticket archive")
+	}
+}
+
+func TestRunBadDirectory(t *testing.T) {
+	if err := run(1, 1, "/dev/null/not-a-dir"); err == nil {
+		t.Error("invalid output directory accepted")
+	}
+}

@@ -1,0 +1,119 @@
+// Command netview prints a textual rendering of Figure 1: the layered
+// architecture of a cluster-design and/or fabric-design data center, with
+// per-layer populations, connectivity degrees, blast radii, and path
+// diversity — the structural facts the paper's reliability arguments rest
+// on.
+//
+// Usage:
+//
+//	netview [-design cluster|fabric|both] [-units N] [-racks N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dcnr"
+	"dcnr/internal/report"
+)
+
+func main() {
+	var (
+		design = flag.String("design", "both", "network design: cluster, fabric, or both")
+		units  = flag.Int("units", 4, "clusters (cluster design) or pods (fabric design) per data center")
+		racks  = flag.Int("racks", 16, "racks per cluster/pod")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *design, *units, *racks); err != nil {
+		fmt.Fprintln(os.Stderr, "netview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, design string, units, racks int) error {
+	net := dcnr.NewNetwork()
+	var clusterCores, fabricCores []string
+	var err error
+	wantCluster := design == "cluster" || design == "both"
+	wantFabric := design == "fabric" || design == "both"
+	if !wantCluster && !wantFabric {
+		return fmt.Errorf("unknown design %q (cluster, fabric, both)", design)
+	}
+	if wantCluster {
+		clusterCores, err = dcnr.BuildCluster(net, dcnr.ClusterSpec{
+			DC: "dc1", Region: "regiona", Clusters: units, RacksPerCluster: racks,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if wantFabric {
+		fabricCores, err = dcnr.BuildFabric(net, dcnr.FabricSpec{
+			DC: "dc2", Region: "regionb", Pods: units, RacksPerPod: racks,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if wantCluster && wantFabric {
+		if err := dcnr.InterconnectCores(net, clusterCores, fabricCores); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "network: %d devices, %d links\n\n", net.NumDevices(), net.NumLinks())
+
+	t := &report.Table{
+		Title:   "Layers (Figure 1)",
+		Headers: []string{"Type", "Design", "Count", "Degree", "Downstream racks", "Commodity", "Auto-repair"},
+	}
+	for _, dt := range dcnr.IntraDCTypes {
+		devices := net.DevicesOfType(dt)
+		if len(devices) == 0 {
+			continue
+		}
+		sample := devices[0]
+		t.AddRow(dt.String(), dt.Design().String(), fmt.Sprint(len(devices)),
+			fmt.Sprint(net.Degree(sample.Name)),
+			fmt.Sprint(net.DownstreamRacks(sample.Name)),
+			fmt.Sprint(dt.Commodity()), fmt.Sprint(dcnr.RemediationSupported(dt)))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	// Path diversity: the redundancy the reliability arguments lean on.
+	pd := &report.Table{
+		Title:   "Path diversity (rack to core)",
+		Headers: []string{"Design", "Shortest path", "Node-disjoint paths"},
+	}
+	addPath := func(label string, cores []string) {
+		if len(cores) == 0 {
+			return
+		}
+		for _, rsw := range net.DevicesOfType(dcnr.RSW) {
+			if !net.Reachable(rsw.Name, cores[0], nil) {
+				continue
+			}
+			r := dcnr.NewRouter(net)
+			path := r.Path(rsw.Name, cores[0])
+			pd.AddRow(label, strings.Join(pathTypes(net, path), " → "),
+				fmt.Sprint(net.DisjointPaths(rsw.Name, cores[0])))
+			return
+		}
+	}
+	addPath("cluster", clusterCores)
+	addPath("fabric", fabricCores)
+	return pd.Render(w)
+}
+
+func pathTypes(net *dcnr.Network, path []string) []string {
+	out := make([]string, 0, len(path))
+	for _, name := range path {
+		out = append(out, net.Device(name).Type.String())
+	}
+	return out
+}

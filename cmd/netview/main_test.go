@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBothDesigns(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "both", 4, 16); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Layers", "RSW", "Core", "cluster", "fabric", "Path diversity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleDesigns(t *testing.T) {
+	for _, d := range []string{"cluster", "fabric"} {
+		var b strings.Builder
+		if err := run(&b, d, 2, 4); err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "mesh", 2, 4); err == nil {
+		t.Error("unknown design accepted")
+	}
+	if err := run(&b, "cluster", 0, 4); err == nil {
+		t.Error("zero units accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	// One shared dataset build covers the cheap experiments; the heavy
+	// all-experiments path is exercised by TestRunAll below (not in
+	// -short mode).
+	d := &datasets{seed: 7, scale: 1}
+	cheap := []string{"table3", "fig6", "fig11", "ablation-redundancy", "congestion", "wan-reroute", "drill-suite", "ablation-config"}
+	for _, id := range cheap {
+		var b strings.Builder
+		if err := experiments[id].run(d, &b); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(b.String(), experiments[id].title) {
+			t.Errorf("%s output missing title", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "fig99", 1, 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	if len(experimentOrder) != len(experiments) {
+		t.Fatalf("order lists %d, registry has %d", len(experimentOrder), len(experiments))
+	}
+	for _, id := range experimentOrder {
+		def, ok := experiments[id]
+		if !ok {
+			t.Errorf("%s in order but not registry", id)
+			continue
+		}
+		if def.title == "" || def.run == nil {
+			t.Errorf("%s has empty definition", id)
+		}
+	}
+}
+
+func TestRunAllAndVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	var b strings.Builder
+	if err := run(&b, "", 20181031, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table 1", "Table 4", "Figure 15", "Figure 18", "Ablation", "WAN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("all-experiments output missing %q", want)
+		}
+	}
+	b.Reset()
+	ok, err := runVerify(&b, 20181031, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("verification failed:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "claims reproduced") {
+		t.Error("scoreboard footer missing")
+	}
+}

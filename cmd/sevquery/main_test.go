@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcnr"
+)
+
+func datasetFile(t *testing.T) string {
+	t.Helper()
+	store := dcnr.NewSEVStore()
+	reports := []dcnr.SEVReport{
+		{Severity: dcnr.Sev3, Device: "rsw001.cl001.dc1.ra", RootCauses: []dcnr.RootCause{dcnr.Hardware}, Start: 1, Duration: 1, Resolution: 2, Year: 2016, Title: "a"},
+		{Severity: dcnr.Sev1, Device: "core001.dc1.ra", RootCauses: []dcnr.RootCause{dcnr.Configuration}, Start: 2, Duration: 1, Resolution: 2, Year: 2017, Title: "b"},
+		{Severity: dcnr.Sev2, Device: "csw001.cl001.dc1.ra", Start: 3, Duration: 1, Resolution: 2, Year: 2017, Title: "c"},
+	}
+	for _, r := range reports {
+		if _, err := store.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "sevs.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := store.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestQueriesAndGroupings(t *testing.T) {
+	path := datasetFile(t)
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"list", func() error { return run(path, 0, "", 0, "", "", 10) }},
+		{"year filter", func() error { return run(path, 2017, "", 0, "", "", 10) }},
+		{"type filter", func() error { return run(path, 0, "RSW", 0, "", "", 10) }},
+		{"severity filter", func() error { return run(path, 0, "", 1, "", "", 10) }},
+		{"cause filter", func() error { return run(path, 0, "", 0, "Configuration", "", 10) }},
+		{"group year", func() error { return run(path, 0, "", 0, "", "year", 10) }},
+		{"group type", func() error { return run(path, 0, "", 0, "", "type", 10) }},
+		{"group severity", func() error { return run(path, 0, "", 0, "", "severity", 10) }},
+		{"group cause", func() error { return run(path, 0, "", 0, "", "cause", 10) }},
+		{"truncated list", func() error { return run(path, 0, "", 0, "", "", 1) }},
+	}
+	for _, c := range cases {
+		if err := c.call(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	path := datasetFile(t)
+	if err := run("missing.json", 0, "", 0, "", "", 10); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(path, 0, "XYZ", 0, "", "", 10); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if err := run(path, 0, "", 9, "", "", 10); err == nil {
+		t.Error("invalid severity accepted")
+	}
+	if err := run(path, 0, "", 0, "Gremlins", "", 10); err == nil {
+		t.Error("unknown cause accepted")
+	}
+	if err := run(path, 0, "", 0, "", "vibes", 10); err == nil {
+		t.Error("unknown grouping accepted")
+	}
+}

@@ -1,0 +1,172 @@
+// Package dcnr (Data Center Network Reliability) reproduces the
+// measurement study "A Large Scale Study of Data Center Network
+// Reliability" (Meza, Xu, Veeraraghavan, Mutlu — IMC 2018) as a simulation
+// and analysis library.
+//
+// The paper analyzed seven years of Facebook's intra-data-center
+// service-level events (SEVs) and eighteen months of inter-data-center
+// fiber repair tickets. Those datasets are proprietary, so this library
+// ships a calibrated generative substitute for each:
+//
+//   - SimulateIntraDC runs a discrete-event simulation of a growing device
+//     fleet (cluster and fabric network designs) under fault injection,
+//     automated remediation, and topology-derived service impact,
+//     producing a SEV dataset.
+//   - SimulateBackbone generates a backbone of edges, vendors, and fiber
+//     links, simulates link failures and fiber cuts, and round-trips the
+//     resulting repair tickets through the vendor-notification pipeline.
+//
+// Analysis then re-derives every table and figure of the paper from the
+// generated raw records — see IntraAnalysis and InterAnalysis. cmd/repro
+// prints each experiment; EXPERIMENTS.md records paper-vs-measured values.
+package dcnr
+
+import (
+	"fmt"
+
+	"dcnr/internal/backbone"
+	"dcnr/internal/core"
+	"dcnr/internal/faults"
+	"dcnr/internal/fleet"
+	"dcnr/internal/remediation"
+	"dcnr/internal/tickets"
+	"dcnr/internal/topology"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// IntraConfig parameterizes the intra-data-center simulation.
+type IntraConfig struct {
+	// Seed roots all randomness; equal seeds give identical histories.
+	Seed uint64
+	// Scale multiplies the fleet population and incident volumes
+	// uniformly. 1 (the default when zero) is the study's unit scale;
+	// 5 produces a "thousands of incidents" dataset like the paper's.
+	Scale int
+	// FromYear and ToYear bound the simulated years, inclusive. Zero
+	// values default to the full 2011–2017 study period.
+	FromYear, ToYear int
+	// DisableRemediation turns off the automated repair engine — the §5.6
+	// ablation. Every fault on a remediation-supported device type then
+	// escalates to a service-level incident.
+	DisableRemediation bool
+}
+
+// IntraResult carries the generated dataset and its analysis handles.
+type IntraResult struct {
+	// Store is the generated SEV dataset.
+	Store *SEVStore
+	// Fleet is the population model the dataset was generated against.
+	Fleet *Fleet
+	// Analysis answers the §5 questions over the dataset.
+	Analysis *IntraAnalysis
+	// RemediationStats is the Table 1 data accumulated by the automated
+	// repair engine, keyed by device type.
+	RemediationStats map[DeviceType]RemediationStats
+	// Faults and Incidents count generated device faults and the subset
+	// that escalated into SEVs.
+	Faults, Incidents int
+}
+
+// SimulateIntraDC runs the intra-data-center simulation and returns the
+// dataset with analysis attached.
+func SimulateIntraDC(cfg IntraConfig) (*IntraResult, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	if cfg.FromYear == 0 {
+		cfg.FromYear = FirstYear
+	}
+	if cfg.ToYear == 0 {
+		cfg.ToYear = LastYear
+	}
+	fl := fleet.New(cfg.Scale)
+	driver, err := faults.NewDriver(fl, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("dcnr: building simulation: %w", err)
+	}
+	if cfg.DisableRemediation {
+		driver.Engine.SetEnabled(false)
+	}
+	store, err := driver.Run(cfg.FromYear, cfg.ToYear)
+	if err != nil {
+		return nil, fmt.Errorf("dcnr: simulating: %w", err)
+	}
+	return &IntraResult{
+		Store:            store,
+		Fleet:            fl,
+		Analysis:         core.NewIntraAnalysis(store, fl),
+		RemediationStats: driver.Engine.Stats(),
+		Faults:           driver.Faults(),
+		Incidents:        driver.Incidents(),
+	}, nil
+}
+
+// BackboneResult carries the generated backbone dataset and its analysis.
+type BackboneResult struct {
+	// Topology is the generated backbone inventory.
+	Topology *BackboneTopology
+	// Notices is the full vendor notification stream, time-ordered.
+	Notices []Notice
+	// Downtimes are the link downtime intervals the collector
+	// reconstructed from the notices.
+	Downtimes []Downtime
+	// Analysis answers the §6 questions over the reconstructed intervals.
+	Analysis *InterAnalysis
+}
+
+// SimulateBackbone generates a backbone per cfg, simulates its failure
+// processes over the observation window, and round-trips the repair
+// tickets through the generation→parse→pair pipeline, exactly as the
+// study's data flowed (§4.3.2).
+func SimulateBackbone(cfg BackboneConfig) (*BackboneResult, error) {
+	topo, err := backbone.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dcnr: building backbone: %w", err)
+	}
+	downs, err := topo.Simulate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dcnr: simulating backbone: %w", err)
+	}
+	notices := tickets.Generate(topo, downs)
+	coll := tickets.NewCollector()
+	// Re-derive the window exactly as Simulate used it.
+	full := cfg
+	if full.Months == 0 {
+		full.Months = backbone.DefaultConfig().Months
+	}
+	coll.WindowHours = full.WindowHours()
+	for _, n := range notices {
+		// Round-trip through the wire format: what the analysis sees is
+		// what a parser recovered, not the generator's structs.
+		parsed, err := tickets.Parse(n.Format())
+		if err != nil {
+			return nil, fmt.Errorf("dcnr: ticket round trip: %w", err)
+		}
+		if err := coll.Ingest(parsed); err != nil {
+			return nil, fmt.Errorf("dcnr: collecting tickets: %w", err)
+		}
+	}
+	dts := coll.Downtimes()
+	analysis, err := core.NewInterAnalysis(topo, dts, coll.WindowHours)
+	if err != nil {
+		return nil, fmt.Errorf("dcnr: analyzing backbone: %w", err)
+	}
+	return &BackboneResult{
+		Topology:  topo,
+		Notices:   notices,
+		Downtimes: dts,
+		Analysis:  analysis,
+	}, nil
+}
+
+// RemediationSupported reports whether automated remediation covers the
+// device type (§4.1.2: RSWs, FSWs, and some Core devices).
+func RemediationSupported(t DeviceType) bool { return remediation.Supported(t) }
+
+// ParseDeviceName recovers a device's type from its name prefix, the
+// classification rule of §4.3.1.
+func ParseDeviceName(name string) (DeviceType, error) {
+	return topology.ParseDeviceName(name)
+}

@@ -1,0 +1,130 @@
+package dcnr
+
+import (
+	"testing"
+)
+
+func TestSimulateIntraDCDefaults(t *testing.T) {
+	res, err := SimulateIntraDC(IntraConfig{Seed: 1, FromYear: 2016, ToYear: 2017})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Store.Len() == 0 {
+		t.Fatal("no SEVs generated")
+	}
+	if res.Incidents != res.Store.Len() {
+		t.Errorf("Incidents = %d, store = %d", res.Incidents, res.Store.Len())
+	}
+	if res.Faults <= res.Incidents {
+		t.Error("faults should outnumber incidents")
+	}
+	if res.Analysis == nil || res.Fleet == nil {
+		t.Fatal("missing analysis handles")
+	}
+	if res.RemediationStats[RSW].Issues == 0 {
+		t.Error("no RSW remediation activity recorded")
+	}
+}
+
+func TestSimulateIntraDCFullPeriodDefaults(t *testing.T) {
+	// Zero years default to the full study period.
+	res, err := SimulateIntraDC(IntraConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	years := res.Analysis.Years()
+	if years[0] != FirstYear || years[len(years)-1] != LastYear {
+		t.Errorf("years = %v", years)
+	}
+}
+
+func TestSimulateIntraDCInvalidRange(t *testing.T) {
+	if _, err := SimulateIntraDC(IntraConfig{FromYear: 2005, ToYear: 2006}); err == nil {
+		t.Error("invalid range accepted")
+	}
+}
+
+func TestSimulateIntraDCDeterministic(t *testing.T) {
+	a, err := SimulateIntraDC(IntraConfig{Seed: 7, FromYear: 2017, ToYear: 2017})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateIntraDC(IntraConfig{Seed: 7, FromYear: 2017, ToYear: 2017})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Store.Len() != b.Store.Len() || a.Faults != b.Faults {
+		t.Error("identical configs produced different histories")
+	}
+}
+
+func TestSimulateIntraDCAblation(t *testing.T) {
+	on, err := SimulateIntraDC(IntraConfig{Seed: 3, FromYear: 2017, ToYear: 2017})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := SimulateIntraDC(IntraConfig{Seed: 3, FromYear: 2017, ToYear: 2017, DisableRemediation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Incidents < 20*on.Incidents {
+		t.Errorf("ablation incidents = %d vs %d; want a large increase", off.Incidents, on.Incidents)
+	}
+}
+
+func TestSimulateBackbone(t *testing.T) {
+	cfg := DefaultBackboneConfig()
+	cfg.Edges = 40
+	cfg.Seed = 11
+	res, err := SimulateBackbone(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Notices) == 0 || len(res.Downtimes) == 0 {
+		t.Fatal("empty backbone dataset")
+	}
+	if len(res.Notices) != 2*len(res.Downtimes) {
+		t.Errorf("notices = %d, downtimes = %d", len(res.Notices), len(res.Downtimes))
+	}
+	if len(res.Analysis.EdgeMTBF()) == 0 {
+		t.Error("no edge MTBF measurements")
+	}
+	if _, err := res.Analysis.PlanRisk(99.99); err != nil {
+		t.Errorf("PlanRisk: %v", err)
+	}
+}
+
+func TestSimulateBackboneInvalidConfig(t *testing.T) {
+	if _, err := SimulateBackbone(BackboneConfig{Edges: 2}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	dt, err := ParseDeviceName("rsw001.pod001.dc1.ra")
+	if err != nil || dt != RSW {
+		t.Errorf("ParseDeviceName = %v, %v", dt, err)
+	}
+	if !RemediationSupported(RSW) || RemediationSupported(CSA) {
+		t.Error("RemediationSupported wrong")
+	}
+	if NewSEVStore().Len() != 0 {
+		t.Error("NewSEVStore not empty")
+	}
+	if NewFleet(1).Population(2017, RSW) == 0 {
+		t.Error("NewFleet broken")
+	}
+	if NewTicketCollector().Open() != 0 {
+		t.Error("NewTicketCollector not empty")
+	}
+	fit, err := FitExponential([]Point{{X: 0.1, Y: 1}, {X: 0.5, Y: 2}, {X: 1, Y: 4}})
+	if err != nil || fit.A <= 0 {
+		t.Errorf("FitExponential = %+v, %v", fit, err)
+	}
+	if len(Curve(map[string]float64{"a": 1})) != 1 {
+		t.Error("Curve broken")
+	}
+	if _, err := ParseNotice("garbage"); err == nil {
+		t.Error("ParseNotice accepted garbage")
+	}
+}

@@ -1,0 +1,110 @@
+package dcnr_test
+
+import (
+	"fmt"
+	"log"
+
+	"dcnr"
+)
+
+// ExampleSimulateIntraDC runs the seven-year intra-data-center study and
+// prints the 2017 incident shares of the two headline device types.
+func ExampleSimulateIntraDC() {
+	res, err := dcnr.SimulateIntraDC(dcnr.IntraConfig{Seed: 20181031})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fr := res.Analysis.IncidentFractions()[2017]
+	fmt.Printf("Core %.0f%% RSW %.0f%%\n", 100*fr[dcnr.Core], 100*fr[dcnr.RSW])
+	// Output: Core 36% RSW 25%
+}
+
+// ExampleSimulateBackbone fits the edge-MTBF exponential model of §6.1.
+func ExampleSimulateBackbone() {
+	cfg := dcnr.DefaultBackboneConfig()
+	cfg.Seed = 20161001
+	res, err := dcnr.SimulateBackbone(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fit, err := dcnr.FitCurve(res.Analysis.EdgeMTBF())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("B = %.2f\n", fit.B)
+	// Output: B = 2.35
+}
+
+// ExampleParseDeviceName shows the §4.3.1 naming-convention classifier.
+func ExampleParseDeviceName() {
+	dt, err := dcnr.ParseDeviceName("rsw042.pod007.dc3.regionb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(dt, dt.Design(), dcnr.RemediationSupported(dt))
+	// Output: RSW Shared true
+}
+
+// ExampleNewImpactAssessor demonstrates topology-derived severity: the
+// same switch is harmless alone and an outage as a group cascade.
+func ExampleNewImpactAssessor() {
+	net, err := dcnr.ReferenceTopology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	assessor := dcnr.NewImpactAssessor(net)
+	csw := net.DevicesOfType(dcnr.CSW)[0].Name
+	isolated, _ := assessor.Assess(csw, dcnr.ScopeDevice)
+	cascade, _ := assessor.Assess(csw, dcnr.ScopeUnit)
+	fmt.Println(isolated.Severity, cascade.Severity)
+	// Output: SEV3 SEV1
+}
+
+// ExampleFitExponential fits the paper's §6.1 model form to a percentile
+// curve.
+func ExampleFitExponential() {
+	metric := map[string]float64{
+		"edge1": 500, "edge2": 800, "edge3": 1300, "edge4": 2100, "edge5": 3400,
+	}
+	fit, err := dcnr.FitCurve(metric)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("R2 > 0.9: %v\n", fit.R2 > 0.9)
+	// Output: R2 > 0.9: true
+}
+
+// ExampleProvisionGroup recovers §5.2's eight-core design point from the
+// measured Core reliability.
+func ExampleProvisionGroup() {
+	u, err := dcnr.DeviceUnavailability(39495, 30) // Core MTBI / repair hours
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := dcnr.ProvisionGroup(7, u, dcnr.FourNines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("provision %d cores (%d spare)\n", plan.Provision, plan.Spares())
+	// Output: provision 8 cores (1 spare)
+}
+
+// ExampleNewWANBackbone shows §3.2's reroute-on-cut behaviour.
+func ExampleNewWANBackbone() {
+	bb, err := dcnr.NewWANBackbone(dcnr.WANConfig{Regions: []string{"east", "central", "west"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		if err := bb.SetLinkDown("east", "west", p, true); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep, err := bb.Engineer([]dcnr.WANDemand{{From: "east", To: "west", Gbps: 100}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := rep.Flows[0]
+	fmt.Printf("rerouted %.0f Gb/s via %s, dropped %.0f\n", f.ReroutedGbps, f.Via, f.DroppedGbps)
+	// Output: rerouted 100 Gb/s via central, dropped 0
+}

@@ -1,0 +1,85 @@
+// Backbone planning: the §6.1 capacity-planning workflow. Simulates the
+// backbone, models edge MTBF/MTTR as exponential functions of the
+// percentile (the paper's models), and computes the conditional-risk
+// percentile Facebook plans capacity against (99.99th).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"dcnr"
+)
+
+func main() {
+	cfg := dcnr.DefaultBackboneConfig()
+	cfg.Seed = 20161001
+	res, err := dcnr.SimulateBackbone(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := res.Analysis
+	fmt.Printf("18-month backbone simulation: %d link repair tickets across %d edges\n\n",
+		a.LinkFailureCount(), len(res.Topology.Edges))
+
+	// Fit the paper's reliability models to the measured curves.
+	mtbfFit, err := dcnr.FitCurve(a.EdgeMTBF())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mttrFit, err := dcnr.FitCurve(a.EdgeMTTR())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edge MTBF model: %.2f * e^(%.4f p)  R2=%.3f   (paper: 462.88 * e^(2.3408 p), R2=0.94)\n",
+		mtbfFit.A, mtbfFit.B, mtbfFit.R2)
+	fmt.Printf("edge MTTR model: %.2f * e^(%.4f p)  R2=%.3f   (paper: 1.513 * e^(4.256 p),  R2=0.87)\n\n",
+		mttrFit.A, mttrFit.B, mttrFit.R2)
+
+	// Use the models the way the paper describes: estimate how reliable
+	// the p-th percentile edge is.
+	for _, p := range []float64{0.25, 0.50, 0.90} {
+		fmt.Printf("p=%.2f edge: fails every ~%.0f h, recovers in ~%.1f h\n",
+			p, mtbfFit.Eval(p), mttrFit.Eval(p))
+	}
+
+	// Conditional risk: probability an edge is unavailable at a random
+	// instant. Capacity is planned against the 99.99th percentile.
+	plan, err := a.PlanRisk(99.99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	median, _ := a.PlanRisk(50)
+	fmt.Printf("\nconditional risk: median %.5f, planning percentile (99.99th) %.5f\n", median, plan)
+	fmt.Printf("→ provision spare capacity to absorb %.2f%% unavailability on the worst edges\n\n", 100*plan)
+
+	// The riskiest edges, for the capacity team's attention.
+	risk := a.ConditionalRisk()
+	type edgeRisk struct {
+		name string
+		r    float64
+	}
+	var ranked []edgeRisk
+	for name, r := range risk {
+		ranked = append(ranked, edgeRisk{name, r})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].r > ranked[j].r })
+	fmt.Println("highest-risk edges:")
+	for _, er := range ranked[:5] {
+		fmt.Printf("  %s  unavailable %.3f%% of the time\n", er.name, 100*er.r)
+	}
+
+	// The same arithmetic sizes intra-DC redundancy groups: §5.2's
+	// "eight Cores ... tolerate one unavailable Core".
+	unavail, err := dcnr.DeviceUnavailability(39495, 30) // Core MTBI and repair time
+	if err != nil {
+		log.Fatal(err)
+	}
+	corePlan, err := dcnr.ProvisionGroup(7, unavail, dcnr.FourNines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncore provisioning: need 7, provision %d (%d spare) → residual risk %.2e (target %.0e)\n",
+		corePlan.Provision, corePlan.Spares(), corePlan.Risk, dcnr.FourNines)
+}

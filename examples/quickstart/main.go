@@ -1,0 +1,41 @@
+// Quickstart: simulate the seven-year intra-data-center study and print the
+// headline numbers — the 30-second tour of the dcnr API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcnr"
+)
+
+func main() {
+	// One call simulates fleet growth, fault injection, automated
+	// remediation, and service impact for 2011–2017.
+	res, err := dcnr.SimulateIntraDC(dcnr.IntraConfig{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d device faults; automation masked all but %d SEVs\n\n",
+		res.Faults, res.Incidents)
+
+	// Table 2: what actually causes service-level incidents?
+	fmt.Println("root causes (Table 2):")
+	dist := res.Analysis.RootCauseDistribution()
+	for _, c := range dcnr.RootCauses {
+		fmt.Printf("  %-18s %5.1f%%\n", c, 100*dist[c])
+	}
+
+	// §5.4: who causes the 2017 incidents?
+	fmt.Println("\n2017 incident share by device type (Figure 8):")
+	fr := res.Analysis.IncidentFractions()[2017]
+	for _, dt := range dcnr.IntraDCTypes {
+		fmt.Printf("  %-5s %5.1f%%\n", dt, 100*fr[dt])
+	}
+
+	// §5.6: fabric vs cluster mean time between incidents.
+	fab := res.Analysis.DesignMTBI(2017, dcnr.DesignFabric)
+	clu := res.Analysis.DesignMTBI(2017, dcnr.DesignCluster)
+	fmt.Printf("\n2017 MTBI: fabric %.0f device-hours, cluster %.0f (%.1fx more reliable)\n",
+		fab, clu, fab/clu)
+}

@@ -1,0 +1,3 @@
+module dcnr
+
+go 1.22

@@ -1,0 +1,212 @@
+package dcnr
+
+// Cross-subsystem integration tests: the live monitoring→remediation→SEV
+// path over real UDP sockets, and the vendor→collector ticket path over
+// real TCP sockets, each ending in the analysis engine.
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"context"
+
+	"dcnr/internal/des"
+	"dcnr/internal/monitor"
+	"dcnr/internal/notify"
+	"dcnr/internal/remediation"
+	"dcnr/internal/service"
+	"dcnr/internal/simrand"
+	"dcnr/internal/tickets"
+)
+
+// TestMonitorToSEVPipeline drives the intra-DC ingest path end to end: a
+// device stops sending UDP heartbeats, the liveness monitor raises a
+// DevicePingFailure, the remediation engine escalates it (forced), the
+// impact assessor grades it, and a SEV lands in the store.
+func TestMonitorToSEVPipeline(t *testing.T) {
+	netw, err := ReferenceTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assessor := service.NewAssessor(netw)
+	store := NewSEVStore()
+	sim := &des.Simulator{}
+	engine := remediation.NewEngine(sim, simrand.New(1))
+	engine.SetEnabled(false) // force escalation so one fault = one SEV
+
+	var mu sync.Mutex
+	var faults []string
+	mon, err := monitor.New(50*time.Millisecond, 2, func(device string) {
+		mu.Lock()
+		faults = append(faults, device)
+		mu.Unlock()
+		dt, err := ParseDeviceName(device)
+		if err != nil {
+			t.Errorf("monitor reported unparseable device %q", device)
+			return
+		}
+		engine.Submit(dt, remediation.DevicePingFailure, func(o remediation.Outcome) {
+			if o.Repaired {
+				return
+			}
+			as, err := assessor.Assess(device, service.ScopeDevice)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := store.Add(SEVReport{
+				Severity:   as.Severity,
+				Device:     device,
+				RootCauses: []RootCause{Hardware},
+				Start:      sim.Now(),
+				Duration:   1,
+				Resolution: 2,
+				Year:       FirstYear,
+				Title:      "device ping failure detected by liveness monitor",
+				Impact:     as.Impact,
+			}); err != nil {
+				t.Error(err)
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Heartbeats arrive over a real UDP socket.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go mon.ServePacket(pc)
+	defer pc.Close()
+
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	healthy := netw.DevicesOfType(CSW)[0].Name
+	failing := netw.DevicesOfType(CSW)[1].Name
+	for _, d := range []string{healthy, failing} {
+		if err := monitor.SendHeartbeat(conn, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for mon.Tracked() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if mon.Tracked() != 2 {
+		t.Fatalf("monitor tracked %d devices", mon.Tracked())
+	}
+
+	// The healthy device keeps beating; the failing one goes silent.
+	for i := 0; i < 4; i++ {
+		time.Sleep(40 * time.Millisecond)
+		if err := monitor.SendHeartbeat(conn, healthy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+	down := mon.Check(time.Now())
+	if len(down) != 1 || down[0] != failing {
+		t.Fatalf("down = %v, want [%s]", down, failing)
+	}
+	sim.Run(math.Inf(1)) // deliver the engine's escalation callback
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(faults) != 1 {
+		t.Fatalf("faults = %v", faults)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("SEVs = %d, want 1", store.Len())
+	}
+	rep := store.All()[0]
+	if rep.Device != failing || rep.Severity != Sev3 {
+		t.Errorf("SEV = %+v", rep)
+	}
+}
+
+// TestTicketWirePipeline drives the inter-DC ingest path end to end over
+// TCP: simulate the backbone, deliver every notice through the wire
+// protocol, and confirm the analysis over what arrived matches the
+// analysis over the generator's own records.
+func TestTicketWirePipeline(t *testing.T) {
+	cfg := DefaultBackboneConfig()
+	cfg.Edges = 30
+	cfg.Seed = 77
+	res, err := SimulateBackbone(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coll := NewTicketCollector()
+	coll.WindowHours = cfg.WindowHours()
+	server := notify.NewServer(coll.IngestText)
+	addr, err := server.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	messages := make([]string, len(res.Notices))
+	for i, n := range res.Notices {
+		messages[i] = n.Format()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := notify.SendAll(ctx, addr, messages); err != nil {
+		t.Fatal(err)
+	}
+	if server.Received() != len(messages) {
+		t.Fatalf("received %d of %d messages", server.Received(), len(messages))
+	}
+
+	wired, err := NewInterAnalysis(res.Topology, coll.Downtimes(), cfg.WindowHours())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire path must be lossless: identical vendor MTTRs either way.
+	direct := res.Analysis.VendorMTTR()
+	overWire := wired.VendorMTTR()
+	if len(direct) != len(overWire) {
+		t.Fatalf("vendor counts differ: %d vs %d", len(direct), len(overWire))
+	}
+	for vendor, want := range direct {
+		if got := overWire[vendor]; math.Abs(got-want) > 1e-3 {
+			t.Errorf("%s MTTR %v over wire, %v direct", vendor, got, want)
+		}
+	}
+}
+
+// TestTicketArchiveRoundTrip writes the notice archive the way dcsim does
+// and replays it into a collector.
+func TestTicketArchiveRoundTrip(t *testing.T) {
+	cfg := DefaultBackboneConfig()
+	cfg.Edges = 12
+	cfg.Seed = 5
+	res, err := SimulateBackbone(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := NewTicketCollector()
+	coll.WindowHours = cfg.WindowHours()
+	for _, n := range res.Notices {
+		parsed, err := tickets.Parse(n.Format())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coll.Ingest(parsed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := len(coll.Downtimes()), len(res.Downtimes); got != want {
+		t.Errorf("archive round trip: %d intervals, want %d", got, want)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"dcnr/internal/fleet"
+	"dcnr/internal/sev"
+)
+
+func TestIntraClaimsPassOnReferenceSeed(t *testing.T) {
+	a := intraAnalysis(t)
+	results := a.VerifyIntraClaims()
+	if len(results) < 10 {
+		t.Fatalf("only %d intra claims", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if seen[r.ID] {
+			t.Errorf("duplicate claim ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Claim == "" || r.Detail == "" {
+			t.Errorf("claim %s missing text", r.ID)
+		}
+		if !r.Pass {
+			t.Errorf("claim %s failed on reference seed: %s (%s)", r.ID, r.Claim, r.Detail)
+		}
+	}
+}
+
+func TestInterClaimsPassOnReferenceSeed(t *testing.T) {
+	a := interAnalysis(t)
+	results := a.VerifyInterClaims()
+	if len(results) < 6 {
+		t.Fatalf("only %d inter claims", len(results))
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("claim %s failed on reference seed: %s (%s)", r.ID, r.Claim, r.Detail)
+		}
+	}
+}
+
+func TestIntraClaimsFailOnGarbageData(t *testing.T) {
+	// A dataset that plainly does not exhibit the paper's shapes must
+	// fail claims — the verifier cannot be a rubber stamp.
+	store := sev.NewStore()
+	for i := 0; i < 50; i++ {
+		if _, err := store.Add(sev.Report{
+			Severity:   sev.Sev1,
+			Device:     "csa001.dc1.ra",
+			RootCauses: []sev.RootCause{sev.Capacity},
+			Start:      float64(i),
+			Duration:   1,
+			Resolution: 1,
+			Year:       2011,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := NewIntraAnalysis(store, fleet.New(1))
+	results := a.VerifyIntraClaims()
+	failures := 0
+	for _, r := range results {
+		if !r.Pass {
+			failures++
+		}
+	}
+	if failures < 5 {
+		t.Errorf("garbage dataset passed almost everything (%d failures of %d)", failures, len(results))
+	}
+}

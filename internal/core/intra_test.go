@@ -1,0 +1,401 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dcnr/internal/faults"
+	"dcnr/internal/fleet"
+	"dcnr/internal/sev"
+	"dcnr/internal/stats"
+	"dcnr/internal/topology"
+)
+
+// The intra tests share one deterministic seven-year dataset.
+var (
+	intraOnce sync.Once
+	intraA    *IntraAnalysis
+	intraErr  error
+)
+
+func intraAnalysis(t *testing.T) *IntraAnalysis {
+	t.Helper()
+	intraOnce.Do(func() {
+		fl := fleet.New(1)
+		d, err := faults.NewDriver(fl, 20181031) // IMC'18 in Boston
+		if err != nil {
+			intraErr = err
+			return
+		}
+		store, err := d.Run(fleet.FirstYear, fleet.LastYear)
+		if err != nil {
+			intraErr = err
+			return
+		}
+		intraA = NewIntraAnalysis(store, fl)
+	})
+	if intraErr != nil {
+		t.Fatal(intraErr)
+	}
+	return intraA
+}
+
+func TestRootCauseDistributionTable2(t *testing.T) {
+	a := intraAnalysis(t)
+	dist := a.RootCauseDistribution()
+	// Maintenance is the largest determined category (§5.1).
+	for _, c := range sev.RootCauses {
+		if c == sev.Maintenance || c == sev.Undetermined {
+			continue
+		}
+		if dist[c] > dist[sev.Maintenance] {
+			t.Errorf("%v (%.3f) exceeds maintenance (%.3f)", c, dist[c], dist[sev.Maintenance])
+		}
+	}
+	// Undetermined ≈ 29%.
+	if math.Abs(dist[sev.Undetermined]-0.29) > 0.06 {
+		t.Errorf("undetermined = %.3f, want ~0.29", dist[sev.Undetermined])
+	}
+	// Human-induced (config + bug) ≈ 2× hardware.
+	ratio := (dist[sev.Configuration] + dist[sev.Bug]) / dist[sev.Hardware]
+	if ratio < 1.4 || ratio > 2.8 {
+		t.Errorf("human:hardware = %.2f, want ~1.9", ratio)
+	}
+}
+
+func TestRootCauseByDeviceFig2(t *testing.T) {
+	a := intraAnalysis(t)
+	byCause := a.RootCauseByDevice()
+	// Major categories are represented across many device types (§5.1:
+	// "relatively even representation").
+	for _, c := range []sev.RootCause{sev.Maintenance, sev.Hardware, sev.Configuration, sev.Undetermined} {
+		row := byCause[c]
+		if len(row) < 4 {
+			t.Errorf("%v spans only %d device types", c, len(row))
+		}
+		sum := 0.0
+		for _, f := range row {
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%v fractions sum to %v", c, sum)
+		}
+	}
+}
+
+func TestIncidentRateFig3(t *testing.T) {
+	a := intraAnalysis(t)
+	// 2013–2014: CSA incident rate exceeds 1.0 (§5.2's 1.7× and 1.5×).
+	for _, year := range []int{2013, 2014} {
+		if r := a.IncidentRate(year)[topology.CSA]; r < 1.0 {
+			t.Errorf("%d CSA rate = %.2f, want > 1.0", year, r)
+		}
+	}
+	r2017 := a.IncidentRate(2017)
+	// Highest-bisection devices (Core, CSA) have the highest rates;
+	// RSWs the lowest (§5.2).
+	for _, dt := range []topology.DeviceType{topology.CSW, topology.ESW, topology.SSW, topology.FSW, topology.RSW} {
+		if r2017[dt] >= r2017[topology.Core] {
+			t.Errorf("2017: %v rate %.4f >= Core rate %.4f", dt, r2017[dt], r2017[topology.Core])
+		}
+	}
+	for _, dt := range []topology.DeviceType{topology.Core, topology.CSA, topology.CSW, topology.ESW, topology.SSW, topology.FSW} {
+		if r2017[topology.RSW] >= r2017[dt] {
+			t.Errorf("2017: RSW rate %.5f >= %v rate %.5f", r2017[topology.RSW], dt, r2017[dt])
+		}
+	}
+	// CSA rate decreased after 2014 (§5.2's fourth observation).
+	if a.IncidentRate(2017)[topology.CSA] > a.IncidentRate(2014)[topology.CSA]/2 {
+		t.Errorf("CSA rate did not decrease markedly: 2014=%.2f 2017=%.2f",
+			a.IncidentRate(2014)[topology.CSA], a.IncidentRate(2017)[topology.CSA])
+	}
+}
+
+func TestSeverityBreakdownFig4(t *testing.T) {
+	a := intraAnalysis(t)
+	br := a.SeverityBreakdown(2017)
+	// N values: SEV3 ≈ 82%, SEV2 ≈ 13%, SEV1 ≈ 5%.
+	if s := br[sev.Sev3].Share; math.Abs(s-0.82) > 0.07 {
+		t.Errorf("SEV3 share = %.3f, want ~0.82", s)
+	}
+	if s := br[sev.Sev2].Share; math.Abs(s-0.13) > 0.06 {
+		t.Errorf("SEV2 share = %.3f, want ~0.13", s)
+	}
+	if s := br[sev.Sev1].Share; math.Abs(s-0.05) > 0.05 {
+		t.Errorf("SEV1 share = %.3f, want ~0.05", s)
+	}
+	// Core and RSW dominate the SEV3 slice (they are ~62% of incidents).
+	sev3 := br[sev.Sev3].ByDevice
+	if sev3[topology.Core]+sev3[topology.RSW] < 0.4 {
+		t.Errorf("Core+RSW share of SEV3 = %.3f, want > 0.4", sev3[topology.Core]+sev3[topology.RSW])
+	}
+	shares := br[sev.Sev1].Share + br[sev.Sev2].Share + br[sev.Sev3].Share
+	if math.Abs(shares-1) > 1e-9 {
+		t.Errorf("severity shares sum to %v", shares)
+	}
+}
+
+func TestSevRatePerDeviceFig5(t *testing.T) {
+	a := intraAnalysis(t)
+	rates := a.SevRatePerDevice()
+	total := func(year int) float64 {
+		sum := 0.0
+		for _, v := range rates[year] {
+			sum += v
+		}
+		return sum
+	}
+	// The overall SEV-per-device rate grows until the fabric inflection,
+	// then stops growing: 2017 must sit below the 2013–2015 peak.
+	peak := math.Max(total(2013), math.Max(total(2014), total(2015)))
+	if total(2017) > peak {
+		t.Errorf("2017 rate %.5f exceeds pre-fabric peak %.5f — no inflection", total(2017), peak)
+	}
+	if total(2011) >= peak {
+		t.Errorf("rate did not grow from 2011 (%.5f) to the peak (%.5f)", total(2011), peak)
+	}
+	// SEV3 dominates every year it appears.
+	for year, row := range rates {
+		if row[sev.Sev3] < row[sev.Sev1] || row[sev.Sev3] < row[sev.Sev2] {
+			t.Errorf("%d: SEV3 rate not dominant: %v", year, row)
+		}
+	}
+}
+
+func TestSwitchesVsEmployeesFig6(t *testing.T) {
+	a := intraAnalysis(t)
+	pts := a.SwitchesVsEmployees()
+	if len(pts) != fleet.NumYears {
+		t.Fatalf("points = %d", len(pts))
+	}
+	r, err := stats.Correlation(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.95 {
+		t.Errorf("correlation = %.3f, want strong positive (switches grow with employees)", r)
+	}
+}
+
+func TestIncidentFractionsFig7(t *testing.T) {
+	a := intraAnalysis(t)
+	fr := a.IncidentFractions()
+	// Fractions sum to 1 each year.
+	for year, row := range fr {
+		sum := 0.0
+		for _, f := range row {
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%d fractions sum to %v", year, sum)
+		}
+	}
+	// §5.4: 2017 — Core ≈ 34%, RSW ≈ 28% of incidents.
+	if f := fr[2017][topology.Core]; math.Abs(f-0.34) > 0.07 {
+		t.Errorf("2017 Core fraction = %.3f, want ~0.34", f)
+	}
+	if f := fr[2017][topology.RSW]; math.Abs(f-0.28) > 0.07 {
+		t.Errorf("2017 RSW fraction = %.3f, want ~0.28", f)
+	}
+	// Cluster-specific devices shrink as a proportion over time.
+	cluster := func(year int) float64 { return fr[year][topology.CSA] + fr[year][topology.CSW] }
+	if cluster(2017) >= cluster(2013) {
+		t.Errorf("cluster share grew: 2013=%.3f 2017=%.3f", cluster(2013), cluster(2017))
+	}
+}
+
+func TestNormalizedIncidentsFig8(t *testing.T) {
+	a := intraAnalysis(t)
+	norm := a.NormalizedIncidents(2017)
+	// Total 2017 normalized incidents = 1 by construction.
+	sum2017 := 0.0
+	for _, f := range norm[2017] {
+		sum2017 += f
+	}
+	if math.Abs(sum2017-1) > 1e-9 {
+		t.Errorf("2017 normalized total = %v", sum2017)
+	}
+	// §5.4: total SEVs grew ~9.4× from 2011 to 2017.
+	sum2011 := 0.0
+	for _, f := range norm[2011] {
+		sum2011 += f
+	}
+	growth := sum2017 / sum2011
+	if growth < 6 || growth > 14 {
+		t.Errorf("2011→2017 growth = %.1f×, want ~9.4×", growth)
+	}
+}
+
+func TestDesignIncidentsFig9(t *testing.T) {
+	a := intraAnalysis(t)
+	di := a.DesignIncidents(2017)
+	// No fabric incidents before deployment.
+	for year := fleet.FirstYear; year < fleet.FabricDeployYear; year++ {
+		if di[year][topology.DesignFabric] != 0 {
+			t.Errorf("%d: fabric incidents before deployment", year)
+		}
+	}
+	// §5.5: in 2017 fabric incidents ≈ 50% of cluster incidents.
+	ratio := di[2017][topology.DesignFabric] / di[2017][topology.DesignCluster]
+	if ratio < 0.3 || ratio > 0.75 {
+		t.Errorf("2017 fabric:cluster incidents = %.2f, want ~0.5", ratio)
+	}
+	// Cluster incidents decline after the fabric inflection.
+	if di[2017][topology.DesignCluster] >= di[2014][topology.DesignCluster] {
+		t.Errorf("cluster incidents did not decline: 2014=%.3f 2017=%.3f",
+			di[2014][topology.DesignCluster], di[2017][topology.DesignCluster])
+	}
+}
+
+func TestDesignRateFig10(t *testing.T) {
+	a := intraAnalysis(t)
+	dr := a.DesignRate()
+	// Fabric incidents-per-device consistently below cluster since 2015.
+	for year := fleet.FabricDeployYear; year <= fleet.LastYear; year++ {
+		c := dr[year][topology.DesignCluster]
+		f := dr[year][topology.DesignFabric]
+		if f >= c {
+			t.Errorf("%d: fabric rate %.4f >= cluster rate %.4f", year, f, c)
+		}
+	}
+}
+
+func TestPopulationBreakdownFig11(t *testing.T) {
+	a := intraAnalysis(t)
+	pb := a.PopulationBreakdown()
+	for year, row := range pb {
+		sum := 0.0
+		for _, f := range row {
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%d population fractions sum to %v", year, sum)
+		}
+		if row[topology.RSW] < 0.9 {
+			t.Errorf("%d RSW fraction = %.3f", year, row[topology.RSW])
+		}
+	}
+	// Inflection: CSW fraction decreases after 2015, FSW increases.
+	if pb[2017][topology.CSW] >= pb[2015][topology.CSW] {
+		t.Error("CSW population fraction did not decline after 2015")
+	}
+	if pb[2017][topology.FSW] <= pb[2015][topology.FSW] {
+		t.Error("FSW population fraction did not grow after 2015")
+	}
+}
+
+func TestMTBIFig12(t *testing.T) {
+	a := intraAnalysis(t)
+	m := a.MTBI(2017)
+	// §5.6: MTBI spans ~three orders of magnitude, Core lowest (~39 495
+	// device-hours), RSW highest (~10M device-hours).
+	if m[topology.Core] < 20000 || m[topology.Core] > 80000 {
+		t.Errorf("Core MTBI = %.0f, want ~39 495", m[topology.Core])
+	}
+	if m[topology.RSW] < 5e6 || m[topology.RSW] > 2.5e7 {
+		t.Errorf("RSW MTBI = %.0f, want ~1e7", m[topology.RSW])
+	}
+	if ratio := m[topology.RSW] / m[topology.Core]; ratio < 100 {
+		t.Errorf("RSW:Core MTBI ratio = %.0f, want orders of magnitude", ratio)
+	}
+}
+
+func TestDesignMTBI(t *testing.T) {
+	a := intraAnalysis(t)
+	// §5.6: fabric switches fail ~3.2× less frequently than cluster
+	// switches in 2017.
+	fab := a.DesignMTBI(2017, topology.DesignFabric)
+	clu := a.DesignMTBI(2017, topology.DesignCluster)
+	if fab == 0 || clu == 0 {
+		t.Fatal("missing design MTBI")
+	}
+	ratio := fab / clu
+	if ratio < 2.0 || ratio > 5.0 {
+		t.Errorf("fabric:cluster MTBI = %.2f, want ~3.2", ratio)
+	}
+}
+
+func TestP75IRTFig13(t *testing.T) {
+	a := intraAnalysis(t)
+	// Resolution times grew over the years for the pooled fleet.
+	overall := a.P75IRTOverall()
+	if overall[2017] < 4*overall[2011] {
+		t.Errorf("p75IRT 2011=%.1f 2017=%.1f — growth too small", overall[2011], overall[2017])
+	}
+	// Per-type values exist for the high-volume types.
+	byType := a.P75IRT(2017)
+	for _, dt := range []topology.DeviceType{topology.Core, topology.CSW, topology.RSW} {
+		if byType[dt] <= 0 {
+			t.Errorf("no 2017 p75IRT for %v", dt)
+		}
+	}
+}
+
+func TestIRTvsScaleFig14(t *testing.T) {
+	a := intraAnalysis(t)
+	pts := a.IRTvsScale()
+	if len(pts) < 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	r, err := stats.Correlation(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.6: larger networks increase incident resolution time.
+	if r < 0.6 {
+		t.Errorf("p75IRT vs fleet size correlation = %.3f, want positive", r)
+	}
+}
+
+func TestYears(t *testing.T) {
+	a := intraAnalysis(t)
+	ys := a.Years()
+	if len(ys) != fleet.NumYears || ys[0] != fleet.FirstYear || ys[len(ys)-1] != fleet.LastYear {
+		t.Errorf("Years = %v", ys)
+	}
+}
+
+func TestEmptyStoreAnalyses(t *testing.T) {
+	a := NewIntraAnalysis(sev.NewStore(), fleet.New(1))
+	if len(a.RootCauseDistribution()) != 0 {
+		t.Error("empty store has root causes")
+	}
+	if len(a.SeverityBreakdown(2017)) != 0 {
+		t.Error("empty store has severity breakdown")
+	}
+	if len(a.NormalizedIncidents(2017)) != 0 {
+		t.Error("empty store has normalized incidents")
+	}
+	if got := a.IncidentRate(2017); got[topology.RSW] != 0 {
+		t.Error("empty store has nonzero rate")
+	}
+}
+
+func TestIncidentDurations(t *testing.T) {
+	a := intraAnalysis(t)
+	ds, ok := a.IncidentDurations(2017)
+	if !ok {
+		t.Fatal("no 2017 durations")
+	}
+	if ds.Summary.N == 0 || ds.P50 <= 0 || ds.P95 < ds.P50 {
+		t.Errorf("duration stats = %+v", ds)
+	}
+	// Durations are bounded by resolutions by construction.
+	res := a.P75IRTOverall()[2017]
+	if ds.P50 > res {
+		t.Errorf("median duration %v exceeds p75 resolution %v", ds.P50, res)
+	}
+	// §2's question has a year-over-year answer: durations grew as
+	// networks grew.
+	early, ok := a.IncidentDurations(2011)
+	if !ok {
+		t.Fatal("no 2011 durations")
+	}
+	if ds.P50 <= early.P50 {
+		t.Errorf("median duration did not grow: %v (2011) → %v (2017)", early.P50, ds.P50)
+	}
+	if _, ok := a.IncidentDurations(1999); ok {
+		t.Error("durations reported for an empty year")
+	}
+}

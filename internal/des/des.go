@@ -1,0 +1,191 @@
+// Package des is a small discrete-event simulation kernel.
+//
+// Time is a float64 number of hours since the simulation epoch; the domain
+// packages interpret the epoch as 00:00 on January 1 of the first simulated
+// year. Events scheduled for the same instant fire in scheduling order
+// (deterministic FIFO tie-breaking), which keeps whole-simulation runs
+// reproducible bit-for-bit.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Handler is the action an event performs when it fires.
+type Handler func(now float64)
+
+// Event is a scheduled occurrence. It is returned by Schedule so callers can
+// cancel it.
+type Event struct {
+	at      float64
+	seq     uint64
+	handler Handler
+	index   int // heap index; -1 once removed
+}
+
+// Time returns the instant the event is scheduled for.
+func (e *Event) Time() float64 { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the event queue and the virtual clock. The zero value is a
+// simulator at time 0 with an empty queue, ready to use.
+type Simulator struct {
+	now    float64
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// ErrPast is returned when an event is scheduled before the current time.
+var ErrPast = errors.New("des: schedule in the past")
+
+// Now returns the current virtual time in hours.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Fired reports how many events have executed.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are waiting in the queue.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule queues h to fire at absolute time at. It returns the Event
+// (usable with Cancel) or ErrPast if at precedes the current time.
+func (s *Simulator) Schedule(at float64, h Handler) (*Event, error) {
+	if at < s.now || math.IsNaN(at) {
+		return nil, ErrPast
+	}
+	e := &Event{at: at, seq: s.seq, handler: h}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e, nil
+}
+
+// After queues h to fire delay hours from now. Negative delays are clamped
+// to zero so callers can pass small jittered values safely.
+func (s *Simulator) After(delay float64, h Handler) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	e, _ := s.Schedule(s.now+delay, h)
+	return e
+}
+
+// Cancel removes e from the queue. It reports whether the event was still
+// pending (false if it already fired or was cancelled).
+func (s *Simulator) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 || e.index >= len(s.queue) || s.queue[e.index] != e {
+		return false
+	}
+	heap.Remove(&s.queue, e.index)
+	return true
+}
+
+// Halt stops the run loop after the current event finishes.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Run executes events in order until the queue is empty, an event beyond
+// until is reached, or Halt is called. The clock finishes at until (or at
+// the halt time). Events scheduled exactly at until do fire.
+func (s *Simulator) Run(until float64) {
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		next := s.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		s.fired++
+		next.handler(s.now)
+	}
+	if !s.halted && s.now < until {
+		s.now = until
+	}
+}
+
+// Step executes exactly one event if any is pending and reports whether one
+// fired.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&s.queue).(*Event)
+	s.now = next.at
+	s.fired++
+	next.handler(s.now)
+	return true
+}
+
+// Every schedules h to fire repeatedly with the given period, starting at
+// start, until the simulator stops running. The returned stop function
+// cancels future firings.
+func (s *Simulator) Every(start, period float64, h Handler) (stop func()) {
+	if period <= 0 {
+		panic("des: Every with non-positive period")
+	}
+	var cur *Event
+	stopped := false
+	var tick Handler
+	tick = func(now float64) {
+		if stopped {
+			return
+		}
+		h(now)
+		cur = s.After(period, tick)
+	}
+	cur, _ = s.Schedule(start, tick)
+	return func() {
+		stopped = true
+		s.Cancel(cur)
+	}
+}
+
+// HoursPerYear is the calendar conversion used across the simulation: the
+// study reports device-hours using 365-day years.
+const HoursPerYear = 365 * 24
+
+// Year converts an absolute simulation time to a year index (0-based) given
+// the simulation epoch year, e.g. epochYear 2011 maps t=0 to 2011.
+func Year(t float64, epochYear int) int {
+	if t < 0 {
+		t = 0
+	}
+	return epochYear + int(t/HoursPerYear)
+}
+
+// YearStart returns the simulation time at which the given calendar year
+// begins.
+func YearStart(year, epochYear int) float64 {
+	return float64(year-epochYear) * HoursPerYear
+}

@@ -1,0 +1,285 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcnr/internal/simrand"
+)
+
+func TestRunOrdersEvents(t *testing.T) {
+	var s Simulator
+	var order []int
+	s.After(3, func(float64) { order = append(order, 3) })
+	s.After(1, func(float64) { order = append(order, 1) })
+	s.After(2, func(float64) { order = append(order, 2) })
+	s.Run(10)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now = %v, want 10", s.Now())
+	}
+}
+
+func TestFIFOTieBreaking(t *testing.T) {
+	var s Simulator
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.After(1, func(float64) { order = append(order, i) })
+	}
+	s.Run(2)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	var s Simulator
+	s.After(5, func(float64) {})
+	s.Run(10)
+	if _, err := s.Schedule(3, func(float64) {}); err != ErrPast {
+		t.Errorf("Schedule in the past: err = %v, want ErrPast", err)
+	}
+}
+
+func TestEventsBeyondUntilDoNotFire(t *testing.T) {
+	var s Simulator
+	fired := false
+	s.After(5, func(float64) { fired = true })
+	s.Run(4)
+	if fired {
+		t.Error("event at t=5 fired during Run(4)")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+	s.Run(5) // boundary: events exactly at until fire
+	if !fired {
+		t.Error("event at t=5 did not fire during Run(5)")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var s Simulator
+	fired := false
+	e := s.After(1, func(float64) { fired = true })
+	if !s.Cancel(e) {
+		t.Error("Cancel returned false for pending event")
+	}
+	if s.Cancel(e) {
+		t.Error("double Cancel returned true")
+	}
+	s.Run(2)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if s.Cancel(nil) {
+		t.Error("Cancel(nil) returned true")
+	}
+}
+
+func TestCancelFiredEvent(t *testing.T) {
+	var s Simulator
+	e := s.After(1, func(float64) {})
+	s.Run(2)
+	if s.Cancel(e) {
+		t.Error("Cancel returned true for already-fired event")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	var s Simulator
+	count := 0
+	s.After(1, func(float64) { count++; s.Halt() })
+	s.After(2, func(float64) { count++ })
+	s.Run(10)
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (halted after first event)", count)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+}
+
+func TestScheduleDuringRun(t *testing.T) {
+	var s Simulator
+	var times []float64
+	s.After(1, func(now float64) {
+		times = append(times, now)
+		s.After(1, func(now float64) { times = append(times, now) })
+	})
+	s.Run(10)
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	var s Simulator
+	var ticks []float64
+	stop := s.Every(0.5, 1, func(now float64) { ticks = append(ticks, now) })
+	s.After(3.6, func(float64) { stop() })
+	s.Run(10)
+	want := []float64{0.5, 1.5, 2.5, 3.5}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestEveryPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	var s Simulator
+	s.Every(0, 0, func(float64) {})
+}
+
+func TestStep(t *testing.T) {
+	var s Simulator
+	n := 0
+	s.After(1, func(float64) { n++ })
+	s.After(2, func(float64) { n++ })
+	if !s.Step() || n != 1 {
+		t.Fatalf("first Step: n = %d", n)
+	}
+	if !s.Step() || n != 2 {
+		t.Fatalf("second Step: n = %d", n)
+	}
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	var s Simulator
+	for i := 0; i < 7; i++ {
+		s.After(float64(i), func(float64) {})
+	}
+	s.Run(100)
+	if s.Fired() != 7 {
+		t.Errorf("Fired = %d, want 7", s.Fired())
+	}
+}
+
+func TestAfterClampsNegativeDelay(t *testing.T) {
+	var s Simulator
+	fired := false
+	s.After(-5, func(float64) { fired = true })
+	s.Run(0)
+	if !fired {
+		t.Error("negative-delay event did not fire at t=0")
+	}
+}
+
+func TestYearConversions(t *testing.T) {
+	if y := Year(0, 2011); y != 2011 {
+		t.Errorf("Year(0) = %d", y)
+	}
+	if y := Year(HoursPerYear-1, 2011); y != 2011 {
+		t.Errorf("Year(last hour of 2011) = %d", y)
+	}
+	if y := Year(HoursPerYear, 2011); y != 2012 {
+		t.Errorf("Year(first hour of 2012) = %d", y)
+	}
+	if ys := YearStart(2015, 2011); ys != 4*HoursPerYear {
+		t.Errorf("YearStart(2015) = %v", ys)
+	}
+	if y := Year(-10, 2011); y != 2011 {
+		t.Errorf("Year(-10) = %d, want clamp to epoch", y)
+	}
+}
+
+func TestEventOrderProperty(t *testing.T) {
+	// Whatever random times we schedule, firing order is non-decreasing.
+	f := func(seed uint64) bool {
+		r := simrand.New(seed)
+		var s Simulator
+		var fired []float64
+		for i := 0; i < 200; i++ {
+			s.After(r.Float64()*100, func(now float64) { fired = append(fired, now) })
+		}
+		s.Run(100)
+		if len(fired) != 200 {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	r := simrand.New(1)
+	times := make([]float64, 10000)
+	for i := range times {
+		times[i] = r.Float64() * 1000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s Simulator
+		for _, at := range times {
+			s.After(at, func(float64) {})
+		}
+		s.Run(1000)
+	}
+}
+
+func TestScheduleCancelInterleavingProperty(t *testing.T) {
+	// Random interleavings of schedules and cancels: every event fires at
+	// most once, cancelled events never fire, firing order stays sorted.
+	f := func(seed uint64) bool {
+		r := simrand.New(seed)
+		var s Simulator
+		type tracked struct {
+			ev        *Event
+			cancelled bool
+			fired     int
+		}
+		items := make([]*tracked, 0, 100)
+		for i := 0; i < 100; i++ {
+			it := &tracked{}
+			it.ev = s.After(r.Float64()*50, func(float64) { it.fired++ })
+			items = append(items, it)
+			// Randomly cancel an earlier event.
+			if r.Bool(0.3) {
+				victim := items[r.Intn(len(items))]
+				if s.Cancel(victim.ev) {
+					victim.cancelled = true
+				}
+			}
+		}
+		s.Run(100)
+		for _, it := range items {
+			if it.cancelled && it.fired != 0 {
+				return false
+			}
+			if !it.cancelled && it.fired != 1 {
+				return false
+			}
+		}
+		return s.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

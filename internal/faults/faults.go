@@ -1,0 +1,262 @@
+// Package faults generates the intra-data-center operational history: seven
+// years of device faults, pushed through automated (or, before 2013,
+// manual) repair, with the unrepairable remainder escalating into SEV
+// reports whose severity the service-impact model computes from the
+// topology.
+//
+// The output of a run is a populated sev.Store — the simulated equivalent
+// of the SEV database the paper queried — plus the remediation engine's
+// Table 1 statistics.
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"dcnr/internal/des"
+	"dcnr/internal/fleet"
+	"dcnr/internal/remediation"
+	"dcnr/internal/service"
+	"dcnr/internal/sev"
+	"dcnr/internal/simrand"
+	"dcnr/internal/topology"
+)
+
+// Fault is one device issue detected by monitoring.
+type Fault struct {
+	// Device is the virtual fleet device name (type-prefixed).
+	Device string
+	// Type is the device type.
+	Type topology.DeviceType
+	// Class is the issue taxonomy entry (§4.1.3).
+	Class remediation.FaultClass
+	// Scope is how much of the redundancy group the root cause consumed;
+	// it only matters if the fault escalates.
+	Scope service.Scope
+	// Start is the detection time in hours since epoch.
+	Start float64
+	// Year is the calendar year of Start.
+	Year int
+}
+
+// Driver runs the intra-DC simulation. Construct with NewDriver, then call
+// Run.
+type Driver struct {
+	Fleet *fleet.Model
+	// Engine is the automated repair system; disable it for the §5.6
+	// ablation.
+	Engine *remediation.Engine
+	// Assessor judges escalated faults against the representative
+	// topology.
+	Assessor *service.Assessor
+	// Store receives the escalated faults as SEV reports.
+	Store *sev.Store
+
+	sim       *des.Simulator
+	src       *simrand.Source
+	manual    *simrand.Stream
+	details   *simrand.Stream
+	repTopo   *topology.Network
+	faults    int
+	incidents int
+}
+
+// NewDriver wires a Driver over a fresh simulator, representative topology,
+// remediation engine, and SEV store, all seeded from seed.
+func NewDriver(fl *fleet.Model, seed uint64) (*Driver, error) {
+	repTopo, err := fleet.RepresentativeTopology()
+	if err != nil {
+		return nil, err
+	}
+	sim := &des.Simulator{}
+	src := simrand.NewSource(seed)
+	return &Driver{
+		Fleet:    fl,
+		Engine:   remediation.NewEngine(sim, src.Stream("remediation")),
+		Assessor: service.NewAssessor(repTopo),
+		Store:    sev.NewStore(),
+		sim:      sim,
+		src:      src,
+		manual:   src.Stream("manual-repair"),
+		details:  src.Stream("incident-details"),
+		repTopo:  repTopo,
+	}, nil
+}
+
+// Simulator exposes the driver's event loop (useful for composing extra
+// processes before Run).
+func (d *Driver) Simulator() *des.Simulator { return d.sim }
+
+// Faults reports how many device faults the last Run generated.
+func (d *Driver) Faults() int { return d.faults }
+
+// Incidents reports how many faults escalated into SEVs.
+func (d *Driver) Incidents() int { return d.incidents }
+
+// Run simulates the years [from, to] (inclusive) and returns the populated
+// SEV store. Faults arrive as a Poisson process per (year, device type)
+// whose rate is the calibrated incident target divided by the type's
+// repair-success probability — so the incident stream emerges from the
+// fault stream passing through the repair machinery, not from sampling
+// incidents directly.
+func (d *Driver) Run(from, to int) (*sev.Store, error) {
+	if from < fleet.FirstYear || to > fleet.LastYear || from > to {
+		return nil, fmt.Errorf("faults: year range [%d, %d] outside study period", from, to)
+	}
+	volumes := d.src.Stream("volumes")
+	for year := from; year <= to; year++ {
+		for _, dt := range topology.IntraDCTypes {
+			if d.Fleet.Population(year, dt) == 0 {
+				continue
+			}
+			target := IncidentTarget(year, dt) * float64(d.Fleet.Scale())
+			if target == 0 {
+				continue
+			}
+			raw := target / escalationProb(dt)
+			n := volumes.Poisson(raw)
+			d.scheduleFaults(year, dt, n)
+		}
+	}
+	d.sim.Run(math.Inf(1))
+	return d.Store, nil
+}
+
+func (d *Driver) scheduleFaults(year int, dt topology.DeviceType, n int) {
+	timing := d.src.Stream(fmt.Sprintf("timing/%d/%s", year, dt))
+	details := d.src.Stream(fmt.Sprintf("details/%d/%s", year, dt))
+	yearStart := des.YearStart(year, fleet.FirstYear)
+	for i := 0; i < n; i++ {
+		f := Fault{
+			Type:  dt,
+			Class: remediation.FaultClass(details.Weighted(remediation.ClassShares())),
+			Scope: service.Scope(details.Weighted(scopeWeights[dt])),
+			Start: yearStart + timing.Float64()*des.HoursPerYear,
+			Year:  year,
+		}
+		f.Device = d.virtualName(details, year, dt)
+		d.faults++
+		if _, err := d.sim.Schedule(f.Start, func(float64) { d.handleFault(f) }); err != nil {
+			panic(fmt.Sprintf("faults: scheduling fault: %v", err))
+		}
+	}
+}
+
+// virtualName fabricates a fleet device name whose ordinal is uniform over
+// that year's population, so incident density per named device matches the
+// fleet's.
+func (d *Driver) virtualName(rng *simrand.Stream, year int, dt topology.DeviceType) string {
+	pop := d.Fleet.Population(year, dt)
+	ordinal := 1 + rng.Intn(pop)
+	unit, dc, region := "", "dc1", "regiona"
+	switch dt {
+	case topology.RSW:
+		// Racks split across designs; fabric racks exist from 2015.
+		if year >= fleet.FabricDeployYear && rng.Bool(0.5) {
+			unit, dc, region = fmt.Sprintf("pod%03d", 1+ordinal/48), "dc2", "regionb"
+		} else {
+			unit = fmt.Sprintf("cl%03d", 1+ordinal/80)
+		}
+	case topology.CSW:
+		unit = fmt.Sprintf("cl%03d", 1+ordinal/4)
+	case topology.FSW:
+		unit, dc, region = fmt.Sprintf("pod%03d", 1+ordinal/4), "dc2", "regionb"
+	case topology.ESW, topology.SSW:
+		dc, region = "dc2", "regionb"
+	}
+	return topology.MakeName(dt, ordinal, unit, dc, region)
+}
+
+func (d *Driver) handleFault(f Fault) {
+	// Before 2013 there is no automated repair: the manual repair desk
+	// masks faults at the same per-type success rate, just slowly (§3.1's
+	// "humans perform slow repairs" — which is why automation changed the
+	// operational load, not the SEV stream).
+	if f.Year < fleet.AutomatedRepairYear {
+		if !d.manual.Bool(escalationProb(f.Type)) {
+			return // repaired by a technician; no service impact
+		}
+		d.recordIncident(f)
+		return
+	}
+	d.Engine.Submit(f.Type, f.Class, func(o remediation.Outcome) {
+		if o.Repaired {
+			return
+		}
+		d.recordIncident(f)
+	})
+}
+
+func (d *Driver) recordIncident(f Fault) {
+	details := d.details
+	rep := d.representative(details, f.Type)
+	as, err := d.Assessor.Assess(rep, f.Scope)
+	if err != nil {
+		panic(fmt.Sprintf("faults: assessing %s: %v", rep, err))
+	}
+	resolution := d.resolutionHours(details, f.Year)
+	duration := resolution * (0.05 + 0.45*details.Float64())
+	report := sev.Report{
+		Severity:         as.Severity,
+		Device:           f.Device,
+		RootCauses:       d.drawRootCauses(details),
+		Start:            f.Start,
+		Duration:         duration,
+		Resolution:       resolution,
+		Year:             f.Year,
+		Title:            fmt.Sprintf("%s on %s (%s scope)", f.Class, f.Device, f.Scope),
+		Impact:           as.Impact,
+		ServicesAffected: as.Services,
+		Reviewed:         true,
+	}
+	if _, err := d.Store.Add(report); err != nil {
+		panic(fmt.Sprintf("faults: storing SEV: %v", err))
+	}
+	d.incidents++
+}
+
+// representative maps a virtual device to a same-type device in the
+// representative topology for impact assessment. Sampling is capped to
+// eight devices per type: redundancy structure is identical across a type's
+// devices, and the cap keeps the assessor's memoization effective.
+func (d *Driver) representative(rng *simrand.Stream, dt topology.DeviceType) string {
+	devices := d.repTopo.DevicesOfType(dt)
+	n := len(devices)
+	if n > 8 {
+		n = 8
+	}
+	return devices[rng.Intn(n)].Name
+}
+
+func (d *Driver) drawRootCauses(rng *simrand.Stream) []sev.RootCause {
+	weights := make([]float64, 0, len(sev.RootCauses))
+	for _, c := range sev.RootCauses {
+		weights = append(weights, rootCauseWeights[c])
+	}
+	first := sev.RootCauses[rng.Weighted(weights)]
+	if first == sev.Undetermined {
+		// Undetermined SEVs have no recorded cause at all — engineers
+		// only described symptoms (§5.1).
+		return nil
+	}
+	causes := []sev.RootCause{first}
+	if rng.Bool(multiCauseProb) {
+		second := sev.RootCauses[rng.Weighted(weights)]
+		if second != first && second != sev.Undetermined {
+			causes = append(causes, second)
+		}
+	}
+	return causes
+}
+
+// resolutionHours draws an incident resolution time whose yearly p75
+// follows the Figure 13 calibration.
+func (d *Driver) resolutionHours(rng *simrand.Stream, year int) float64 {
+	p75 := resolutionP75[year]
+	if p75 == 0 {
+		p75 = resolutionP75[fleet.LastYear]
+	}
+	// For LogNormal(mu, sigma), p75 = exp(mu + 0.6745*sigma).
+	mu := math.Log(p75) - 0.6745*resolutionSigma
+	return rng.LogNormal(mu, resolutionSigma)
+}

@@ -1,0 +1,167 @@
+// Package fleet models the evolution of the simulated device fleet over the
+// study period 2011–2017: per-year device populations by type (Figure 11),
+// the fabric rollout that begins in 2015, and the employee-count proxy the
+// paper uses in Figures 6 and 14.
+//
+// The populations are calibrated so that, combined with the incident-share
+// calibration in package faults, the derived statistics reproduce the
+// paper's reported shapes: the 2015 cluster→fabric inflection, CSA incident
+// rates exceeding 1.0 in 2013–2014, Core/RSW MTBI near the reported
+// 39,495 / 9,958,828 device-hours, and a fabric:cluster MTBI ratio near
+// 3.2× (§5.6).
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"dcnr/internal/topology"
+)
+
+// Study period bounds (inclusive). The SEV dataset covers 2011–2017; the
+// paper labels it "seven years, 2011 to 2018" because collection ran into
+// early 2018.
+const (
+	FirstYear = 2011
+	LastYear  = 2017
+	NumYears  = LastYear - FirstYear + 1
+)
+
+// basePopulation holds the unscaled per-year device populations. Order:
+// Core, CSA, CSW, ESW, SSW, FSW, RSW (topology.IntraDCTypes order).
+var basePopulation = map[int]map[topology.DeviceType]int{
+	2011: {topology.Core: 56, topology.CSA: 6, topology.CSW: 320, topology.ESW: 0, topology.SSW: 0, topology.FSW: 0, topology.RSW: 9000},
+	2012: {topology.Core: 88, topology.CSA: 8, topology.CSW: 448, topology.ESW: 0, topology.SSW: 0, topology.FSW: 0, topology.RSW: 14000},
+	2013: {topology.Core: 120, topology.CSA: 10, topology.CSW: 576, topology.ESW: 0, topology.SSW: 0, topology.FSW: 0, topology.RSW: 20000},
+	2014: {topology.Core: 160, topology.CSA: 12, topology.CSW: 704, topology.ESW: 0, topology.SSW: 0, topology.FSW: 0, topology.RSW: 27500},
+	2015: {topology.Core: 200, topology.CSA: 11, topology.CSW: 704, topology.ESW: 24, topology.SSW: 96, topology.FSW: 288, topology.RSW: 38000},
+	2016: {topology.Core: 244, topology.CSA: 9, topology.CSW: 672, topology.ESW: 44, topology.SSW: 176, topology.FSW: 528, topology.RSW: 50000},
+	2017: {topology.Core: 288, topology.CSA: 8, topology.CSW: 640, topology.ESW: 64, topology.SSW: 256, topology.FSW: 768, topology.RSW: 68000},
+}
+
+// employees is the full-time employee count per year (publicly reported
+// figures the paper cites from Statista for Figure 6).
+var employees = map[int]int{
+	2011: 3200,
+	2012: 4619,
+	2013: 6337,
+	2014: 9199,
+	2015: 12691,
+	2016: 17048,
+	2017: 25105,
+}
+
+// FabricDeployYear is the year the fabric design enters the fleet (the
+// "Fabric deployed" marker on Figures 3, 5, 7–12).
+const FabricDeployYear = 2015
+
+// AutomatedRepairYear is the year automated remediation is enabled
+// (§4.1.1: "Starting in 2013").
+const AutomatedRepairYear = 2013
+
+// Model exposes the fleet's composition over the study period. Scale
+// multiplies every population uniformly; Scale 1 is the unit used
+// throughout the tests, and larger scales produce proportionally larger
+// datasets without changing any per-device rate.
+type Model struct {
+	scale int
+}
+
+// New returns a Model at the given scale. It panics for scale < 1.
+func New(scale int) *Model {
+	if scale < 1 {
+		panic(fmt.Sprintf("fleet: scale must be >= 1, got %d", scale))
+	}
+	return &Model{scale: scale}
+}
+
+// Scale returns the model's population multiplier.
+func (m *Model) Scale() int { return m.scale }
+
+// Population returns the device count of type t deployed during year.
+// Years outside the study period return 0.
+func (m *Model) Population(year int, t topology.DeviceType) int {
+	yp, ok := basePopulation[year]
+	if !ok {
+		return 0
+	}
+	return yp[t] * m.scale
+}
+
+// TotalPopulation returns the total network device count in year.
+func (m *Model) TotalPopulation(year int) int {
+	total := 0
+	for _, t := range topology.IntraDCTypes {
+		total += m.Population(year, t)
+	}
+	return total
+}
+
+// DesignPopulation returns the device count belonging to the given network
+// design in year (cluster: CSA+CSW; fabric: ESW+SSW+FSW).
+func (m *Model) DesignPopulation(year int, d topology.Design) int {
+	total := 0
+	for _, t := range topology.IntraDCTypes {
+		if t.Design() == d {
+			total += m.Population(year, t)
+		}
+	}
+	return total
+}
+
+// Employees returns the employee-count proxy for year, 0 outside the study
+// period.
+func (m *Model) Employees(year int) int { return employees[year] }
+
+// Years returns the study years in ascending order.
+func (m *Model) Years() []int {
+	ys := make([]int, 0, len(basePopulation))
+	for y := range basePopulation {
+		ys = append(ys, y)
+	}
+	sort.Ints(ys)
+	return ys
+}
+
+// NormalizedPopulation returns the fleet size of each year divided by the
+// final year's fleet size (the normalization of Figures 6 and 11).
+func (m *Model) NormalizedPopulation() map[int]float64 {
+	denom := float64(m.TotalPopulation(LastYear))
+	out := make(map[int]float64, NumYears)
+	for _, y := range m.Years() {
+		out[y] = float64(m.TotalPopulation(y)) / denom
+	}
+	return out
+}
+
+// DeviceHours returns the device-hours accumulated by type t during year
+// (population × hours in the year), the denominator of the MTBI metric.
+func (m *Model) DeviceHours(year int, t topology.DeviceType) float64 {
+	return float64(m.Population(year, t)) * 365 * 24
+}
+
+// RepresentativeTopology builds a small two-data-center network (one
+// cluster DC, one fabric DC, cores interconnected) whose local redundancy
+// structure matches the full fleet's. The service-impact model evaluates
+// failures against this graph: redundancy within a cluster or pod is
+// scale-invariant, so a compact graph gives the same masked/degraded/outage
+// verdicts as a full-size one.
+func RepresentativeTopology() (*topology.Network, error) {
+	n := topology.NewNetwork()
+	clusterCores, err := topology.BuildCluster(n, topology.ClusterSpec{
+		DC: "dc1", Region: "regiona", Clusters: 4, RacksPerCluster: 16,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fabricCores, err := topology.BuildFabric(n, topology.FabricSpec{
+		DC: "dc2", Region: "regionb", Pods: 4, RacksPerPod: 16,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := topology.InterconnectCores(n, clusterCores, fabricCores); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"testing"
+
+	"dcnr/internal/stats"
+	"dcnr/internal/topology"
+)
+
+func TestPopulationBasics(t *testing.T) {
+	m := New(1)
+	if got := m.Population(2011, topology.FSW); got != 0 {
+		t.Errorf("FSW existed before fabric deployment: %d", got)
+	}
+	if got := m.Population(2017, topology.RSW); got != 68000 {
+		t.Errorf("RSW 2017 = %d", got)
+	}
+	if got := m.Population(2010, topology.RSW); got != 0 {
+		t.Errorf("out-of-range year population = %d", got)
+	}
+	if got := m.Population(2018, topology.Core); got != 0 {
+		t.Errorf("out-of-range year population = %d", got)
+	}
+}
+
+func TestScaleMultipliesUniformly(t *testing.T) {
+	m1, m5 := New(1), New(5)
+	for _, y := range m1.Years() {
+		for _, dt := range topology.IntraDCTypes {
+			if 5*m1.Population(y, dt) != m5.Population(y, dt) {
+				t.Fatalf("scale not uniform for %v %d", dt, y)
+			}
+		}
+	}
+	if m5.Scale() != 5 {
+		t.Errorf("Scale = %d", m5.Scale())
+	}
+}
+
+func TestNewPanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestRSWDominatesFleet(t *testing.T) {
+	// Figure 11: RSWs are the overwhelming majority of switches every year.
+	m := New(1)
+	for _, y := range m.Years() {
+		rsw := m.Population(y, topology.RSW)
+		total := m.TotalPopulation(y)
+		if frac := float64(rsw) / float64(total); frac < 0.9 {
+			t.Errorf("year %d: RSW fraction = %.3f, want > 0.9", y, frac)
+		}
+	}
+}
+
+func TestFabricRolloutInflection(t *testing.T) {
+	// Figure 11: fabric populations appear in 2015 and grow; cluster
+	// populations peak around 2014–2015 and then decline.
+	m := New(1)
+	if m.DesignPopulation(2014, topology.DesignFabric) != 0 {
+		t.Error("fabric devices exist before 2015")
+	}
+	if m.DesignPopulation(2015, topology.DesignFabric) == 0 {
+		t.Error("no fabric devices in 2015")
+	}
+	for y := 2015; y < 2017; y++ {
+		if m.DesignPopulation(y+1, topology.DesignFabric) <= m.DesignPopulation(y, topology.DesignFabric) {
+			t.Errorf("fabric population not growing %d→%d", y, y+1)
+		}
+	}
+	peak := m.DesignPopulation(2014, topology.DesignCluster)
+	if m.DesignPopulation(2017, topology.DesignCluster) >= peak {
+		t.Error("cluster population did not decline after its peak")
+	}
+}
+
+func TestPopulationGrowthMonotone(t *testing.T) {
+	// RSW and Core populations grow every year (Figures 6 and 11).
+	m := New(1)
+	years := m.Years()
+	for i := 1; i < len(years); i++ {
+		for _, dt := range []topology.DeviceType{topology.RSW, topology.Core} {
+			if m.Population(years[i], dt) <= m.Population(years[i-1], dt) {
+				t.Errorf("%v population not growing %d→%d", dt, years[i-1], years[i])
+			}
+		}
+	}
+}
+
+func TestSwitchesTrackEmployees(t *testing.T) {
+	// Figure 6: switch count grows in proportion to employees — a strong
+	// positive linear correlation.
+	m := New(1)
+	var pts []stats.Point
+	for _, y := range m.Years() {
+		pts = append(pts, stats.Point{
+			X: float64(m.Employees(y)),
+			Y: float64(m.TotalPopulation(y)),
+		})
+	}
+	r, err := stats.Correlation(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.98 {
+		t.Errorf("switches/employees correlation = %.3f, want > 0.98", r)
+	}
+}
+
+func TestNormalizedPopulation(t *testing.T) {
+	m := New(1)
+	norm := m.NormalizedPopulation()
+	if norm[LastYear] != 1 {
+		t.Errorf("final year normalization = %v, want 1", norm[LastYear])
+	}
+	prev := 0.0
+	for _, y := range m.Years() {
+		if norm[y] <= prev {
+			t.Errorf("normalized population not increasing at %d", y)
+		}
+		prev = norm[y]
+	}
+}
+
+func TestDeviceHours(t *testing.T) {
+	m := New(1)
+	want := float64(68000) * 8760
+	if got := m.DeviceHours(2017, topology.RSW); got != want {
+		t.Errorf("DeviceHours = %v, want %v", got, want)
+	}
+}
+
+func TestDesignPopulationPartition(t *testing.T) {
+	m := New(1)
+	for _, y := range m.Years() {
+		cluster := m.DesignPopulation(y, topology.DesignCluster)
+		fabric := m.DesignPopulation(y, topology.DesignFabric)
+		shared := m.Population(y, topology.RSW) + m.Population(y, topology.Core)
+		if cluster+fabric+shared != m.TotalPopulation(y) {
+			t.Errorf("year %d: design populations do not partition the fleet", y)
+		}
+	}
+}
+
+func TestFabricClusterPopulationRatio2017(t *testing.T) {
+	// Calibration check: the 2017 fabric:cluster population ratio ~1.68
+	// combines with the 13%:25% incident-share split to give the paper's
+	// 3.2× MTBI ratio (§5.6).
+	m := New(1)
+	ratio := float64(m.DesignPopulation(2017, topology.DesignFabric)) /
+		float64(m.DesignPopulation(2017, topology.DesignCluster))
+	if ratio < 1.5 || ratio > 1.9 {
+		t.Errorf("fabric:cluster population ratio = %.3f, want ~1.68", ratio)
+	}
+}
+
+func TestRepresentativeTopology(t *testing.T) {
+	n, err := RepresentativeTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := n.Population()
+	for _, dt := range topology.IntraDCTypes {
+		if pop[dt] == 0 {
+			t.Errorf("representative topology has no %v devices", dt)
+		}
+	}
+	if got := n.StrandedRacks(nil); len(got) != 0 {
+		t.Errorf("healthy representative topology strands racks: %v", got)
+	}
+}
+
+func TestYearsSortedAndComplete(t *testing.T) {
+	m := New(1)
+	ys := m.Years()
+	if len(ys) != NumYears {
+		t.Fatalf("Years = %v", ys)
+	}
+	for i, y := range ys {
+		if y != FirstYear+i {
+			t.Fatalf("Years = %v", ys)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package monitor implements the device-liveness monitoring that feeds the
+// automated repair system: §4.1.3's "dedicated service to monitor device
+// liveness" whose missed pings raise DevicePingFailure remediations, and
+// §3.1's "skipped heartbeat ... raises alarms for management software to
+// handle".
+//
+// Devices (or their agents) send periodic heartbeats — over UDP in
+// production-like deployments, or directly via the Heartbeat method in
+// simulations. A device that misses a configured number of consecutive
+// heartbeat intervals is declared down exactly once per outage; it rejoins
+// the healthy set on its next heartbeat.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultFunc is called once each time a registered device is declared down.
+type FaultFunc func(device string)
+
+// Monitor tracks heartbeats. Construct with New.
+type Monitor struct {
+	interval time.Duration
+	misses   int
+	onFault  FaultFunc
+
+	mu       sync.Mutex
+	lastSeen map[string]time.Time
+	down     map[string]bool
+}
+
+// New returns a Monitor that declares a device down after `misses`
+// consecutive intervals without a heartbeat and reports it to onFault.
+func New(interval time.Duration, misses int, onFault FaultFunc) (*Monitor, error) {
+	if interval <= 0 {
+		return nil, errors.New("monitor: interval must be positive")
+	}
+	if misses < 1 {
+		return nil, errors.New("monitor: misses must be at least 1")
+	}
+	if onFault == nil {
+		return nil, errors.New("monitor: nil fault callback")
+	}
+	return &Monitor{
+		interval: interval,
+		misses:   misses,
+		onFault:  onFault,
+		lastSeen: make(map[string]time.Time),
+		down:     make(map[string]bool),
+	}, nil
+}
+
+// Register starts tracking a device as of now.
+func (m *Monitor) Register(device string, now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.lastSeen[device]; !ok {
+		m.lastSeen[device] = now
+	}
+}
+
+// Heartbeat records a liveness signal. Unknown devices are registered
+// implicitly. A device that was down recovers.
+func (m *Monitor) Heartbeat(device string, now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lastSeen[device] = now
+	delete(m.down, device)
+}
+
+// Check scans for devices whose last heartbeat is older than
+// misses×interval, fires onFault for each newly-down device, and returns
+// their names sorted. Devices already declared down are not re-reported.
+func (m *Monitor) Check(now time.Time) []string {
+	deadline := time.Duration(m.misses) * m.interval
+	var newlyDown []string
+	m.mu.Lock()
+	for device, seen := range m.lastSeen {
+		if m.down[device] {
+			continue
+		}
+		if now.Sub(seen) >= deadline {
+			m.down[device] = true
+			newlyDown = append(newlyDown, device)
+		}
+	}
+	m.mu.Unlock()
+	sort.Strings(newlyDown)
+	for _, d := range newlyDown {
+		m.onFault(d)
+	}
+	return newlyDown
+}
+
+// Down reports whether the device is currently declared down.
+func (m *Monitor) Down(device string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down[device]
+}
+
+// Tracked returns the number of registered devices.
+func (m *Monitor) Tracked() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.lastSeen)
+}
+
+// heartbeatPrefix frames UDP heartbeat packets.
+const heartbeatPrefix = "HEARTBEAT "
+
+// ServePacket consumes heartbeat datagrams ("HEARTBEAT <device>") from
+// conn until the connection is closed, stamping each with the wall clock.
+// Malformed packets are counted and dropped. It returns the number of
+// malformed packets seen.
+func (m *Monitor) ServePacket(conn net.PacketConn) int {
+	buf := make([]byte, 512)
+	malformed := 0
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			return malformed
+		}
+		msg := strings.TrimSpace(string(buf[:n]))
+		device, ok := strings.CutPrefix(msg, heartbeatPrefix)
+		if !ok || device == "" {
+			malformed++
+			continue
+		}
+		m.Heartbeat(device, time.Now())
+	}
+}
+
+// SendHeartbeat emits one heartbeat datagram for device to addr.
+func SendHeartbeat(conn net.Conn, device string) error {
+	if device == "" {
+		return errors.New("monitor: empty device name")
+	}
+	_, err := fmt.Fprintf(conn, "%s%s", heartbeatPrefix, device)
+	return err
+}

@@ -1,0 +1,177 @@
+package monitor
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newMon(t *testing.T, faults *[]string) *Monitor {
+	t.Helper()
+	var mu sync.Mutex
+	m, err := New(time.Second, 3, func(d string) {
+		mu.Lock()
+		*faults = append(*faults, d)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	cb := func(string) {}
+	if _, err := New(0, 3, cb); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := New(time.Second, 0, cb); err == nil {
+		t.Error("zero misses accepted")
+	}
+	if _, err := New(time.Second, 3, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+}
+
+func TestMissedHeartbeatsDeclareFault(t *testing.T) {
+	var faults []string
+	m := newMon(t, &faults)
+	t0 := time.Unix(1000, 0)
+	m.Register("rsw001", t0)
+	m.Register("rsw002", t0)
+	m.Heartbeat("rsw002", t0.Add(2*time.Second))
+
+	// At t0+3s: rsw001 has missed 3 intervals, rsw002 has not.
+	down := m.Check(t0.Add(3 * time.Second))
+	if len(down) != 1 || down[0] != "rsw001" {
+		t.Fatalf("down = %v", down)
+	}
+	if len(faults) != 1 || faults[0] != "rsw001" {
+		t.Fatalf("faults = %v", faults)
+	}
+	if !m.Down("rsw001") || m.Down("rsw002") {
+		t.Error("Down states wrong")
+	}
+}
+
+func TestFaultReportedOncePerOutage(t *testing.T) {
+	var faults []string
+	m := newMon(t, &faults)
+	t0 := time.Unix(0, 0)
+	m.Register("fsw001", t0)
+	m.Check(t0.Add(5 * time.Second))
+	m.Check(t0.Add(10 * time.Second))
+	if len(faults) != 1 {
+		t.Fatalf("fault reported %d times", len(faults))
+	}
+	// Recovery then another outage: a second report.
+	m.Heartbeat("fsw001", t0.Add(11*time.Second))
+	if m.Down("fsw001") {
+		t.Error("device still down after heartbeat")
+	}
+	m.Check(t0.Add(20 * time.Second))
+	if len(faults) != 2 {
+		t.Fatalf("faults after second outage = %d, want 2", len(faults))
+	}
+}
+
+func TestImplicitRegistrationViaHeartbeat(t *testing.T) {
+	var faults []string
+	m := newMon(t, &faults)
+	m.Heartbeat("core001", time.Unix(0, 0))
+	if m.Tracked() != 1 {
+		t.Errorf("Tracked = %d", m.Tracked())
+	}
+}
+
+func TestRegisterDoesNotResetExisting(t *testing.T) {
+	var faults []string
+	m := newMon(t, &faults)
+	t0 := time.Unix(0, 0)
+	m.Register("rsw001", t0)
+	// A later Register must not refresh the heartbeat clock.
+	m.Register("rsw001", t0.Add(10*time.Second))
+	down := m.Check(t0.Add(3 * time.Second))
+	if len(down) != 1 {
+		t.Errorf("re-Register refreshed liveness: down = %v", down)
+	}
+}
+
+func TestCheckReturnsSorted(t *testing.T) {
+	var faults []string
+	m := newMon(t, &faults)
+	t0 := time.Unix(0, 0)
+	for _, d := range []string{"rsw009", "rsw001", "rsw005"} {
+		m.Register(d, t0)
+	}
+	down := m.Check(t0.Add(time.Minute))
+	want := []string{"rsw001", "rsw005", "rsw009"}
+	for i := range want {
+		if down[i] != want[i] {
+			t.Fatalf("down = %v", down)
+		}
+	}
+}
+
+func TestUDPHeartbeatPath(t *testing.T) {
+	var mu sync.Mutex
+	var faults []string
+	m, err := New(50*time.Millisecond, 2, func(d string) {
+		mu.Lock()
+		faults = append(faults, d)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() { done <- m.ServePacket(pc) }()
+
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := SendHeartbeat(conn, "ssw042"); err != nil {
+		t.Fatal(err)
+	}
+	// Malformed packets are dropped, not fatal.
+	if _, err := conn.Write([]byte("PING nonsense")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("HEARTBEAT ")); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Tracked() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m.Tracked() != 1 {
+		t.Fatalf("Tracked = %d after UDP heartbeat", m.Tracked())
+	}
+	// Let the device miss its heartbeats, then check.
+	time.Sleep(120 * time.Millisecond)
+	down := m.Check(time.Now())
+	if len(down) != 1 || down[0] != "ssw042" {
+		t.Fatalf("down = %v", down)
+	}
+	pc.Close()
+	if malformed := <-done; malformed != 2 {
+		t.Errorf("malformed = %d, want 2", malformed)
+	}
+}
+
+func TestSendHeartbeatValidation(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if err := SendHeartbeat(c1, ""); err == nil {
+		t.Error("empty device accepted")
+	}
+}

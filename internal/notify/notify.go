@@ -1,0 +1,265 @@
+// Package notify is the transport between fiber vendors and the repair-
+// ticket collector: a minimal line-oriented TCP protocol in the spirit of
+// the email delivery path §4.3.2 describes ("the emails are automatically
+// parsed and stored in a database").
+//
+// Protocol: a client connects and sends any number of messages. Each
+// message is a sequence of text lines terminated by a line containing a
+// single period; message lines that begin with a period are dot-stuffed as
+// in SMTP. After each message the server replies with one status line:
+// "OK" when its handler accepted the message, or "ERR <reason>". The client
+// fails fast on ERR.
+package notify
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Handler processes one received message. Returning an error rejects the
+// message: the sender sees an ERR status.
+type Handler func(text string) error
+
+// Server accepts vendor connections and feeds each received message to its
+// handler. Use NewServer, then Start (or Serve with your own listener), and
+// Close to shut down.
+type Server struct {
+	handler Handler
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	received int
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a Server delivering messages to handler.
+func NewServer(handler Handler) *Server {
+	if handler == nil {
+		panic("notify: nil handler")
+	}
+	return &Server{handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in a background
+// goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("notify: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("notify: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections from ln until Close. It is the blocking
+// alternative to Start for callers that manage their own listener.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("notify: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.acceptLoop(ln)
+	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// HandleConn serves one already-established connection (useful for
+// in-memory transports like net.Pipe in tests). It returns when the peer
+// disconnects.
+func (s *Server) HandleConn(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	s.handleConn(conn)
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var msg strings.Builder
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == ".":
+			status := "OK"
+			if err := s.handler(msg.String()); err != nil {
+				status = "ERR " + strings.ReplaceAll(err.Error(), "\n", " ")
+			} else {
+				s.mu.Lock()
+				s.received++
+				s.mu.Unlock()
+			}
+			msg.Reset()
+			if _, err := bw.WriteString(status + "\n"); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case strings.HasPrefix(line, ".."):
+			// Undo dot-stuffing.
+			msg.WriteString(line[1:])
+			msg.WriteByte('\n')
+		default:
+			msg.WriteString(line)
+			msg.WriteByte('\n')
+		}
+	}
+}
+
+// Received reports how many messages the handler has accepted.
+func (s *Server) Received() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+// Close stops the listener and closes every open connection, then waits
+// for the connection goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Client is a vendor-side sender.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a collector at addr. The context bounds connection
+// establishment.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("notify: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (e.g. one side of net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// Send transmits one message and waits for the server's status line. A
+// server-side rejection surfaces as an error prefixed with the server's
+// reason.
+func (c *Client) Send(text string) error {
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, ".") {
+			line = "." + line // dot-stuff
+		}
+		if _, err := c.bw.WriteString(line + "\n"); err != nil {
+			return fmt.Errorf("notify: write: %w", err)
+		}
+	}
+	if _, err := c.bw.WriteString(".\n"); err != nil {
+		return fmt.Errorf("notify: write: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("notify: flush: %w", err)
+	}
+	status, err := c.br.ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("notify: reading status: %w", err)
+	}
+	status = strings.TrimRight(status, "\r\n")
+	if status == "OK" {
+		return nil
+	}
+	return fmt.Errorf("notify: server rejected message: %s", strings.TrimPrefix(status, "ERR "))
+}
+
+// SetDeadline bounds subsequent sends.
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// SendAll dials addr, sends every message in order, and closes the
+// connection. It stops at the first failure. The context bounds the dial
+// and, via its deadline if any, each send.
+func SendAll(ctx context.Context, addr string, messages []string) error {
+	c, err := Dial(ctx, addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := c.SetDeadline(deadline); err != nil {
+			return err
+		}
+	}
+	for i, m := range messages {
+		if err := c.Send(m); err != nil {
+			return fmt.Errorf("notify: message %d of %d: %w", i+1, len(messages), err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,370 @@
+package notify
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, h Handler) (*Server, string) {
+	t.Helper()
+	s := NewServer(h)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr
+}
+
+func TestSendReceiveOverTCP(t *testing.T) {
+	var mu sync.Mutex
+	var got []string
+	s, addr := startServer(t, func(text string) error {
+		mu.Lock()
+		got = append(got, text)
+		mu.Unlock()
+		return nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	msgs := []string{"Header: one\nBody: x\n", "Header: two\n"}
+	if err := SendAll(ctx, addr, msgs); err != nil {
+		t.Fatal(err)
+	}
+	if s.Received() != 2 {
+		t.Errorf("Received = %d", s.Received())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != msgs[0] || got[1] != "Header: two\n" {
+		t.Errorf("got = %q", got)
+	}
+}
+
+func TestDotStuffingRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	var got string
+	_, addr := startServer(t, func(text string) error {
+		mu.Lock()
+		got = text
+		mu.Unlock()
+		return nil
+	})
+	msg := ".leading dot\n..double dot\nnormal\n"
+	ctx := context.Background()
+	if err := SendAll(ctx, addr, []string{msg}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got != msg {
+		t.Errorf("dot-stuffing broke message: %q != %q", got, msg)
+	}
+}
+
+func TestHandlerRejectionSurfacesToClient(t *testing.T) {
+	_, addr := startServer(t, func(text string) error {
+		if strings.Contains(text, "bad") {
+			return errors.New("malformed ticket")
+		}
+		return nil
+	})
+	ctx := context.Background()
+	c, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send("good message\n"); err != nil {
+		t.Fatalf("good message rejected: %v", err)
+	}
+	err = c.Send("bad message\n")
+	if err == nil {
+		t.Fatal("bad message accepted")
+	}
+	if !strings.Contains(err.Error(), "malformed ticket") {
+		t.Errorf("rejection reason lost: %v", err)
+	}
+	// The connection survives a rejection.
+	if err := c.Send("good again\n"); err != nil {
+		t.Fatalf("connection unusable after rejection: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	var count int
+	var mu sync.Mutex
+	_, addr := startServer(t, func(string) error {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil
+	})
+	const clients, perClient = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			msgs := make([]string, perClient)
+			for j := range msgs {
+				msgs[j] = fmt.Sprintf("Client: %d\nSeq: %d\n", id, j)
+			}
+			errs <- SendAll(context.Background(), addr, msgs)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != clients*perClient {
+		t.Errorf("received %d messages, want %d", count, clients*perClient)
+	}
+}
+
+func TestServerCloseStopsAccepting(t *testing.T) {
+	s, addr := startServer(t, func(string) error { return nil })
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := SendAll(ctx, addr, []string{"late\n"}); err == nil {
+		t.Error("send to closed server succeeded")
+	}
+	// Start after Close is rejected.
+	if _, err := s.Start("127.0.0.1:0"); err == nil {
+		t.Error("Start after Close succeeded")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := Dial(ctx, "127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestNewServerNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewServer(nil) did not panic")
+		}
+	}()
+	NewServer(nil)
+}
+
+func TestPipeTransport(t *testing.T) {
+	// The protocol works over any net.Conn — here an in-memory pipe.
+	var got string
+	var mu sync.Mutex
+	s := NewServer(func(text string) error {
+		mu.Lock()
+		got = text
+		mu.Unlock()
+		return nil
+	})
+	defer s.Close()
+	serverSide, clientSide := net.Pipe()
+	go s.HandleConn(serverSide)
+	c := NewClient(clientSide)
+	defer c.Close()
+	if err := c.Send("Via: pipe\n"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got != "Via: pipe\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	var got *string
+	var mu sync.Mutex
+	_, addr := startServer(t, func(text string) error {
+		mu.Lock()
+		got = &text
+		mu.Unlock()
+		return nil
+	})
+	if err := SendAll(context.Background(), addr, []string{""}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got == nil {
+		t.Fatal("empty message not delivered")
+	}
+	if *got != "\n" {
+		t.Errorf("empty message arrived as %q", *got)
+	}
+}
+
+func TestSendAllStopsAtFirstError(t *testing.T) {
+	var count int
+	var mu sync.Mutex
+	_, addr := startServer(t, func(text string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		count++
+		if count == 2 {
+			return errors.New("second message rejected")
+		}
+		return nil
+	})
+	err := SendAll(context.Background(), addr, []string{"a\n", "b\n", "c\n"})
+	if err == nil {
+		t.Fatal("SendAll ignored rejection")
+	}
+	if !strings.Contains(err.Error(), "message 2 of 3") {
+		t.Errorf("error lacks position: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 2 {
+		t.Errorf("handler saw %d messages, want 2 (send must stop)", count)
+	}
+}
+
+func BenchmarkSendReceive(b *testing.B) {
+	s := NewServer(func(string) error { return nil })
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(context.Background(), addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	msg := "Ticket-ID: TKT-000001\nVendor: vendor01\nLink: link0001\nEvent: REPAIR_START\nAt-Hours: 1.0\n"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestServeBlockingVariant(t *testing.T) {
+	s := NewServer(func(string) error { return nil })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	if err := SendAll(context.Background(), ln.Addr().String(), []string{"via Serve\n"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	if s.Received() != 1 {
+		t.Errorf("Received = %d", s.Received())
+	}
+	// Serve after Close is rejected.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	if err := s.Serve(ln2); err == nil {
+		t.Error("Serve after Close succeeded")
+	}
+}
+
+func TestStartBadAddress(t *testing.T) {
+	s := NewServer(func(string) error { return nil })
+	defer s.Close()
+	if _, err := s.Start("256.256.256.256:0"); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}
+
+func TestClientDeadline(t *testing.T) {
+	// A server that never replies: the client's deadline must fire.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 1024)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+			// Swallow input, never acknowledge.
+		}
+	}()
+	c, err := Dial(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetDeadline(time.Now().Add(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send("hello\n"); err == nil {
+		t.Error("send to a mute server succeeded")
+	}
+}
+
+func TestSendAllPropagatesContextDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 1024)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	if err := SendAll(ctx, ln.Addr().String(), []string{"never acked\n"}); err == nil {
+		t.Error("SendAll to a mute server succeeded despite deadline")
+	}
+}

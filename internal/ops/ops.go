@@ -1,0 +1,224 @@
+// Package ops models the operational practices the paper credits with
+// large reliability swings:
+//
+//   - Drain-before-maintenance. "Prior to 2014, network device repairs
+//     were often performed without draining the traffic on their links"
+//     (§5.2); adding the drain step was "a simple but effective means to
+//     limit the likelihood of repair affecting production traffic" and
+//     helped raise CSA MTBI by two orders of magnitude. The Scheduler
+//     performs rolling maintenance over a redundancy group under either
+//     policy and assesses mishaps against the topology.
+//
+//   - Guarded configuration changes. "At Facebook ... all configuration
+//     changes require code review and typically get tested on a small
+//     number of switches before being deployed to the fleet" — the
+//     practice §5.1 credits for a misconfiguration rate far below Wu et
+//     al.'s. Guard deploys changes through optional review and canary
+//     stages and reports the blast radius of faulty ones.
+//
+// Both mechanisms are deterministic in their random stream, so the
+// ablations (drained vs undrained, guarded vs unguarded) are exactly
+// repeatable.
+package ops
+
+import (
+	"errors"
+	"fmt"
+
+	"dcnr/internal/service"
+	"dcnr/internal/sev"
+	"dcnr/internal/simrand"
+)
+
+// DrainPolicy selects how maintenance handles live traffic.
+type DrainPolicy int
+
+const (
+	// NoDrain performs work on a device while it carries traffic — the
+	// pre-2014 practice.
+	NoDrain DrainPolicy = iota
+	// DrainFirst shifts traffic away before work begins.
+	DrainFirst
+)
+
+// String names the policy.
+func (p DrainPolicy) String() string {
+	switch p {
+	case NoDrain:
+		return "no-drain"
+	case DrainFirst:
+		return "drain-first"
+	default:
+		return fmt.Sprintf("DrainPolicy(%d)", int(p))
+	}
+}
+
+// Scheduler performs rolling maintenance.
+type Scheduler struct {
+	// MishapProb is the per-step probability that maintenance goes wrong
+	// (botched upgrade, wrong device power-cycled). Defaults to 0.05 in
+	// NewScheduler.
+	MishapProb float64
+
+	assessor *service.Assessor
+	rng      *simrand.Stream
+}
+
+// NewScheduler returns a Scheduler assessing mishaps against assessor.
+func NewScheduler(assessor *service.Assessor, rng *simrand.Stream) (*Scheduler, error) {
+	if assessor == nil || rng == nil {
+		return nil, errors.New("ops: nil assessor or rng")
+	}
+	return &Scheduler{MishapProb: 0.05, assessor: assessor, rng: rng}, nil
+}
+
+// MaintenanceReport records one rolling-maintenance run.
+type MaintenanceReport struct {
+	// Group lists the devices maintained, in order.
+	Group []string
+	// Policy is the drain policy used.
+	Policy DrainPolicy
+	// Steps is the number of devices maintained (always the full group;
+	// mishaps are repaired in place, not aborted).
+	Steps int
+	// Mishaps counts the steps that went wrong.
+	Mishaps int
+	// Incidents holds the severities of the service-level incidents the
+	// mishaps caused (mishaps fully masked by redundancy produce none).
+	Incidents []sev.Severity
+}
+
+// IncidentCount returns the number of service-affecting incidents (SEV2 or
+// worse) the run caused.
+func (r MaintenanceReport) IncidentCount() int {
+	n := 0
+	for _, s := range r.Incidents {
+		if s <= sev.Sev2 {
+			n++
+		}
+	}
+	return n
+}
+
+// RollingMaintenance performs maintenance on each device of group in turn.
+//
+// Under DrainFirst, a mishap leaves one drained device down: the
+// redundancy group absorbs it calmly (assessed at device scope). Under
+// NoDrain, a mishap drops a device that was carrying production traffic:
+// the survivors absorb an instantaneous shift while already serving load
+// (assessed at group scope — the situation of the paper's faulty-CSA SEV2
+// example). Mishaps that the assessor judges masked (SEV3) are not
+// counted as incidents.
+func (s *Scheduler) RollingMaintenance(group []string, policy DrainPolicy) (MaintenanceReport, error) {
+	if len(group) == 0 {
+		return MaintenanceReport{}, errors.New("ops: empty maintenance group")
+	}
+	if policy != NoDrain && policy != DrainFirst {
+		return MaintenanceReport{}, fmt.Errorf("ops: invalid policy %d", int(policy))
+	}
+	rep := MaintenanceReport{Group: group, Policy: policy}
+	for _, device := range group {
+		rep.Steps++
+		if !s.rng.Bool(s.MishapProb) {
+			continue
+		}
+		rep.Mishaps++
+		scope := service.ScopeGroup
+		if policy == DrainFirst {
+			scope = service.ScopeDevice
+		}
+		as, err := s.assessor.Assess(device, scope)
+		if err != nil {
+			return MaintenanceReport{}, fmt.Errorf("ops: assessing mishap on %s: %w", device, err)
+		}
+		if as.Severity <= sev.Sev2 {
+			rep.Incidents = append(rep.Incidents, as.Severity)
+		}
+	}
+	return rep, nil
+}
+
+// Change is a configuration change heading for the fleet.
+type Change struct {
+	// Desc describes the change.
+	Desc string
+	// Faulty marks a change that would misbehave in production.
+	Faulty bool
+}
+
+// Guard is the deployment pipeline configuration.
+type Guard struct {
+	// Review enables pre-deployment code review.
+	Review bool
+	// CanarySize is the number of switches the change is tested on before
+	// fleet rollout; 0 disables the canary stage.
+	CanarySize int
+	// ReviewCatchProb and CanaryCatchProb are the per-stage probabilities
+	// that a faulty change is caught. NewGuard sets the defaults (0.5 and
+	// 0.9 — canaries catch most issues because the fault manifests on
+	// real hardware).
+	ReviewCatchProb, CanaryCatchProb float64
+}
+
+// NewGuard returns the guarded pipeline the paper describes: review plus a
+// small canary.
+func NewGuard(canarySize int) Guard {
+	return Guard{
+		Review:          true,
+		CanarySize:      canarySize,
+		ReviewCatchProb: 0.5,
+		CanaryCatchProb: 0.9,
+	}
+}
+
+// Unguarded returns a pipeline with no protections: straight to fleet.
+func Unguarded() Guard { return Guard{} }
+
+// Deployment reports where a change landed.
+type Deployment struct {
+	// CaughtAt is "review", "canary", or "" when the change reached the
+	// fleet.
+	CaughtAt string
+	// AffectedDevices is the number of devices a faulty change actually
+	// misconfigured (0 for clean changes and review catches, the canary
+	// size for canary catches, the whole fleet otherwise).
+	AffectedDevices int
+}
+
+// Deploy pushes change toward a fleet of fleetSize devices through the
+// guard's stages.
+func (g Guard) Deploy(change Change, fleetSize int, rng *simrand.Stream) (Deployment, error) {
+	if fleetSize <= 0 {
+		return Deployment{}, errors.New("ops: non-positive fleet size")
+	}
+	if g.CanarySize < 0 || g.CanarySize > fleetSize {
+		return Deployment{}, fmt.Errorf("ops: canary size %d outside [0, %d]", g.CanarySize, fleetSize)
+	}
+	if !change.Faulty {
+		return Deployment{}, nil
+	}
+	if g.Review && rng.Bool(g.ReviewCatchProb) {
+		return Deployment{CaughtAt: "review"}, nil
+	}
+	if g.CanarySize > 0 && rng.Bool(g.CanaryCatchProb) {
+		return Deployment{CaughtAt: "canary", AffectedDevices: g.CanarySize}, nil
+	}
+	return Deployment{AffectedDevices: fleetSize}, nil
+}
+
+// BlastStudy deploys n faulty changes through the guard and returns the
+// mean number of devices each misconfigured — the expected blast radius.
+func BlastStudy(g Guard, n, fleetSize int, rng *simrand.Stream) (float64, error) {
+	if n <= 0 {
+		return 0, errors.New("ops: non-positive trial count")
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		dep, err := g.Deploy(Change{Desc: "trial", Faulty: true}, fleetSize, rng)
+		if err != nil {
+			return 0, err
+		}
+		total += dep.AffectedDevices
+	}
+	return float64(total) / float64(n), nil
+}

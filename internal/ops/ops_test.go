@@ -1,0 +1,210 @@
+package ops
+
+import (
+	"strings"
+	"testing"
+
+	"dcnr/internal/fleet"
+	"dcnr/internal/service"
+	"dcnr/internal/simrand"
+	"dcnr/internal/topology"
+)
+
+func testScheduler(t *testing.T, seed uint64) (*Scheduler, *topology.Network) {
+	t.Helper()
+	net, err := fleet.RepresentativeTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(service.NewAssessor(net), simrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, net
+}
+
+func cswGroup(t *testing.T, net *topology.Network) []string {
+	t.Helper()
+	var group []string
+	unit := net.DevicesOfType(topology.CSW)[0].Unit
+	for _, d := range net.DevicesOfType(topology.CSW) {
+		if d.Unit == unit {
+			group = append(group, d.Name)
+		}
+	}
+	return group
+}
+
+func TestDrainPolicyString(t *testing.T) {
+	if NoDrain.String() != "no-drain" || DrainFirst.String() != "drain-first" {
+		t.Error("policy names wrong")
+	}
+	if !strings.Contains(DrainPolicy(7).String(), "7") {
+		t.Error("unknown policy String")
+	}
+}
+
+func TestNewSchedulerValidation(t *testing.T) {
+	if _, err := NewScheduler(nil, simrand.New(1)); err == nil {
+		t.Error("nil assessor accepted")
+	}
+	net, _ := fleet.RepresentativeTopology()
+	if _, err := NewScheduler(service.NewAssessor(net), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestRollingMaintenanceValidation(t *testing.T) {
+	s, _ := testScheduler(t, 1)
+	if _, err := s.RollingMaintenance(nil, DrainFirst); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := s.RollingMaintenance([]string{"csw001.cl001.dc1.regiona"}, DrainPolicy(9)); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	if _, err := s.RollingMaintenance([]string{"ghost"}, NoDrain); err == nil {
+		// Mishap assessment on an unknown device must surface the error,
+		// but only mishap steps assess — force one.
+		s.MishapProb = 1
+		if _, err := s.RollingMaintenance([]string{"ghost"}, NoDrain); err == nil {
+			t.Error("unknown device never surfaced an error")
+		}
+	}
+}
+
+func TestDrainFirstPreventsIncidents(t *testing.T) {
+	// The §5.2 mechanism: the same mishaps, drained vs undrained.
+	sDrain, net := testScheduler(t, 42)
+	sDrain.MishapProb = 1 // every step goes wrong
+	group := cswGroup(t, net)
+
+	repDrain, err := sDrain.RollingMaintenance(group, DrainFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repDrain.Mishaps != len(group) {
+		t.Fatalf("mishaps = %d", repDrain.Mishaps)
+	}
+	if got := repDrain.IncidentCount(); got != 0 {
+		t.Errorf("drained maintenance caused %d incidents, want 0 (redundancy absorbs)", got)
+	}
+
+	sNoDrain, _ := testScheduler(t, 42)
+	sNoDrain.MishapProb = 1
+	repNoDrain, err := sNoDrain.RollingMaintenance(group, NoDrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := repNoDrain.IncidentCount(); got != len(group) {
+		t.Errorf("undrained mishaps caused %d incidents, want %d (stressed survivors)", got, len(group))
+	}
+}
+
+func TestMaintenanceMishapRate(t *testing.T) {
+	s, net := testScheduler(t, 7)
+	s.MishapProb = 0.05
+	group := cswGroup(t, net)
+	mishaps, steps := 0, 0
+	for i := 0; i < 500; i++ {
+		rep, err := s.RollingMaintenance(group, DrainFirst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mishaps += rep.Mishaps
+		steps += rep.Steps
+	}
+	rate := float64(mishaps) / float64(steps)
+	if rate < 0.03 || rate > 0.07 {
+		t.Errorf("mishap rate = %.4f, want ~0.05", rate)
+	}
+}
+
+func TestGuardDeployCleanChange(t *testing.T) {
+	dep, err := NewGuard(10).Deploy(Change{Desc: "clean"}, 1000, simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.CaughtAt != "" || dep.AffectedDevices != 0 {
+		t.Errorf("clean change deployment = %+v", dep)
+	}
+}
+
+func TestGuardValidation(t *testing.T) {
+	rng := simrand.New(1)
+	if _, err := NewGuard(10).Deploy(Change{}, 0, rng); err == nil {
+		t.Error("zero fleet accepted")
+	}
+	g := Guard{CanarySize: -1}
+	if _, err := g.Deploy(Change{}, 100, rng); err == nil {
+		t.Error("negative canary accepted")
+	}
+	g = Guard{CanarySize: 200}
+	if _, err := g.Deploy(Change{}, 100, rng); err == nil {
+		t.Error("canary larger than fleet accepted")
+	}
+}
+
+func TestGuardReducesBlastRadius(t *testing.T) {
+	// §5.1: review + canary testing explain the low misconfiguration rate.
+	const fleetSize = 10000
+	rng := simrand.New(99)
+	guarded, err := BlastStudy(NewGuard(10), 2000, fleetSize, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unguarded, err := BlastStudy(Unguarded(), 2000, fleetSize, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unguarded != fleetSize {
+		t.Errorf("unguarded blast = %v, want full fleet", unguarded)
+	}
+	// Expected guarded blast: 0.5 (review miss) × [0.9×10 + 0.1×10000]
+	// ≈ 505 devices — a ~20× reduction.
+	if guarded > unguarded/10 {
+		t.Errorf("guarded blast %v not ≪ unguarded %v", guarded, unguarded)
+	}
+	if guarded < 100 || guarded > 1200 {
+		t.Errorf("guarded blast = %v, want ~505", guarded)
+	}
+}
+
+func TestGuardStagesAttribution(t *testing.T) {
+	rng := simrand.New(3)
+	g := NewGuard(10)
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		dep, err := g.Deploy(Change{Faulty: true}, 1000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[dep.CaughtAt]++
+		switch dep.CaughtAt {
+		case "review":
+			if dep.AffectedDevices != 0 {
+				t.Fatal("review catch affected devices")
+			}
+		case "canary":
+			if dep.AffectedDevices != 10 {
+				t.Fatalf("canary catch affected %d", dep.AffectedDevices)
+			}
+		case "":
+			if dep.AffectedDevices != 1000 {
+				t.Fatalf("fleet blast affected %d", dep.AffectedDevices)
+			}
+		}
+	}
+	// ~50% review, ~45% canary, ~5% fleet.
+	if f := float64(counts["review"]) / 5000; f < 0.45 || f > 0.55 {
+		t.Errorf("review share = %.3f", f)
+	}
+	if f := float64(counts[""]) / 5000; f < 0.03 || f > 0.08 {
+		t.Errorf("fleet-blast share = %.3f", f)
+	}
+}
+
+func TestBlastStudyValidation(t *testing.T) {
+	if _, err := BlastStudy(NewGuard(5), 0, 100, simrand.New(1)); err == nil {
+		t.Error("zero trials accepted")
+	}
+}

@@ -1,0 +1,244 @@
+// Package optical models the physical layer beneath the backbone's fiber
+// links, following §3.2's hierarchy: "Each end-to-end fiber link is
+// embodied by optical circuits that consist of multiple optical segments.
+// An optical segment corresponds to a fiber and carries multiple channels,
+// where each channel corresponds to a different wavelength mapped to a
+// specific router port."
+//
+// The inventory makes the backbone's correlated failures mechanistic: the
+// links of an edge share a last-mile segment (the conduit a backhoe or
+// storm severs — the shared-risk group behind the backbone simulator's
+// edge-severing events), while each link's long-haul segments are diverse.
+// Downtime records can be attributed to segments, which supports analyses
+// like failure counts by medium (terrestrial vs the submarine fiber that
+// makes Africa's repairs slow, §6.3).
+package optical
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"dcnr/internal/backbone"
+	"dcnr/internal/simrand"
+)
+
+// Medium is the physical environment a segment runs through.
+type Medium int
+
+const (
+	// Terrestrial segments run in buried conduit or aerial spans.
+	Terrestrial Medium = iota
+	// Submarine segments cross water; repairs need cable ships, which is
+	// why §6.3's African edges take the longest to recover.
+	Submarine
+)
+
+// String names the medium.
+func (m Medium) String() string {
+	switch m {
+	case Terrestrial:
+		return "terrestrial"
+	case Submarine:
+		return "submarine"
+	default:
+		return fmt.Sprintf("Medium(%d)", int(m))
+	}
+}
+
+// Channel is one wavelength on a segment, mapped to a router port.
+type Channel struct {
+	// WavelengthNM is the carrier wavelength in nanometres (C-band).
+	WavelengthNM int
+	// RouterPort is the backbone-router port the wavelength lands on.
+	RouterPort string
+}
+
+// Segment is one physical fiber span.
+type Segment struct {
+	// ID identifies the segment ("seg-edge001-lastmile",
+	// "seg-link0004-haul1").
+	ID string
+	// Medium is the physical environment.
+	Medium Medium
+	// LengthKM is the span length.
+	LengthKM float64
+	// Shared marks the edge's last-mile conduit carried by every one of
+	// its links — the shared-risk group.
+	Shared bool
+	// Links lists the link names riding this segment, sorted.
+	Links []string
+	// Channels are the wavelengths the segment carries (one per riding
+	// link).
+	Channels []Channel
+}
+
+// Inventory is the optical layer of one backbone topology.
+type Inventory struct {
+	segments []Segment
+	byID     map[string]int
+	// linkSegments maps link name → indices of its segments (last-mile
+	// first, then long-haul spans).
+	linkSegments map[string][]int
+	// lastMile maps edge name → index of its shared segment.
+	lastMile map[string]int
+}
+
+// submarineContinent marks which continents' long-haul spans cross water.
+func submarineContinent(c backbone.Continent) bool {
+	return c == backbone.Africa || c == backbone.Australia
+}
+
+// BuildInventory derives the optical layer for topo: one shared last-mile
+// segment per edge plus one to three diverse long-haul segments per link.
+// Construction is deterministic in seed.
+func BuildInventory(topo *backbone.Topology, seed uint64) *Inventory {
+	inv := &Inventory{
+		byID:         make(map[string]int),
+		linkSegments: make(map[string][]int),
+		lastMile:     make(map[string]int),
+	}
+	rng := simrand.NewSource(seed).Stream("optical")
+	wavelength := 1530 // C-band start, nm
+
+	for _, e := range topo.Edges {
+		// The shared conduit out of the edge's location.
+		shared := Segment{
+			ID:       fmt.Sprintf("seg-%s-lastmile", e.Name),
+			Medium:   Terrestrial,
+			LengthKM: 1 + 9*rng.Float64(),
+			Shared:   true,
+		}
+		for _, li := range e.Links {
+			link := topo.Links[li]
+			shared.Links = append(shared.Links, link.Name)
+			shared.Channels = append(shared.Channels, Channel{
+				WavelengthNM: wavelength,
+				RouterPort:   fmt.Sprintf("bbr.%s:%d", e.Name, len(shared.Channels)+1),
+			})
+			wavelength++
+			if wavelength > 1565 {
+				wavelength = 1530
+			}
+		}
+		sort.Strings(shared.Links)
+		sharedIdx := inv.add(shared)
+		inv.lastMile[e.Name] = sharedIdx
+
+		for _, li := range e.Links {
+			link := topo.Links[li]
+			inv.linkSegments[link.Name] = append(inv.linkSegments[link.Name], sharedIdx)
+			hauls := 1 + rng.Intn(3)
+			for h := 1; h <= hauls; h++ {
+				medium := Terrestrial
+				if submarineContinent(e.Continent) && h == 1 {
+					medium = Submarine
+				}
+				seg := Segment{
+					ID:       fmt.Sprintf("seg-%s-haul%d", link.Name, h),
+					Medium:   medium,
+					LengthKM: 50 + 1950*rng.Float64(),
+					Links:    []string{link.Name},
+					Channels: []Channel{{
+						WavelengthNM: 1530 + rng.Intn(36),
+						RouterPort:   fmt.Sprintf("bbr.%s:haul", e.Name),
+					}},
+				}
+				inv.linkSegments[link.Name] = append(inv.linkSegments[link.Name], inv.add(seg))
+			}
+		}
+	}
+	return inv
+}
+
+func (inv *Inventory) add(s Segment) int {
+	idx := len(inv.segments)
+	inv.segments = append(inv.segments, s)
+	inv.byID[s.ID] = idx
+	return idx
+}
+
+// Segments returns every segment.
+func (inv *Inventory) Segments() []Segment { return append([]Segment(nil), inv.segments...) }
+
+// Segment returns the named segment.
+func (inv *Inventory) Segment(id string) (Segment, bool) {
+	idx, ok := inv.byID[id]
+	if !ok {
+		return Segment{}, false
+	}
+	return inv.segments[idx], true
+}
+
+// LinkSegments returns the segments a link rides, last-mile first.
+func (inv *Inventory) LinkSegments(link string) []Segment {
+	var out []Segment
+	for _, idx := range inv.linkSegments[link] {
+		out = append(out, inv.segments[idx])
+	}
+	return out
+}
+
+// SharedRiskGroups returns, per shared segment ID, the links that fail
+// together when it is cut.
+func (inv *Inventory) SharedRiskGroups() map[string][]string {
+	out := make(map[string][]string)
+	for _, s := range inv.segments {
+		if s.Shared {
+			out[s.ID] = append([]string(nil), s.Links...)
+		}
+	}
+	return out
+}
+
+// Attribute names the segment responsible for a downtime record: cuts hit
+// the edge's shared last-mile conduit; isolated failures hit one of the
+// link's own long-haul spans (chosen deterministically from the record's
+// identity, as a field RCA would pin one span).
+func (inv *Inventory) Attribute(d backbone.LinkDown) (Segment, error) {
+	if d.Cut {
+		idx, ok := inv.lastMile[d.Edge]
+		if !ok {
+			return Segment{}, fmt.Errorf("optical: unknown edge %q", d.Edge)
+		}
+		return inv.segments[idx], nil
+	}
+	segs := inv.linkSegments[d.Link]
+	if len(segs) < 2 {
+		return Segment{}, fmt.Errorf("optical: link %q has no long-haul segments", d.Link)
+	}
+	hauls := segs[1:] // skip the shared last-mile
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%f", d.Link, d.Start)
+	return inv.segments[hauls[h.Sum64()%uint64(len(hauls))]], nil
+}
+
+// MediumStats aggregates attributed failures per medium.
+type MediumStats struct {
+	Failures  int
+	MeanMTTR  float64
+	totalMTTR float64
+}
+
+// FailuresByMedium attributes every record and aggregates count and mean
+// repair time per medium.
+func (inv *Inventory) FailuresByMedium(downs []backbone.LinkDown) (map[Medium]MediumStats, error) {
+	out := make(map[Medium]MediumStats)
+	for _, d := range downs {
+		seg, err := inv.Attribute(d)
+		if err != nil {
+			return nil, err
+		}
+		s := out[seg.Medium]
+		s.Failures++
+		s.totalMTTR += d.Duration()
+		out[seg.Medium] = s
+	}
+	for m, s := range out {
+		if s.Failures > 0 {
+			s.MeanMTTR = s.totalMTTR / float64(s.Failures)
+		}
+		out[m] = s
+	}
+	return out, nil
+}

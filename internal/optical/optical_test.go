@@ -1,0 +1,213 @@
+package optical
+
+import (
+	"strings"
+	"testing"
+
+	"dcnr/internal/backbone"
+)
+
+func testInventory(t *testing.T) (*Inventory, *backbone.Topology, backbone.Config) {
+	t.Helper()
+	cfg := backbone.Config{Edges: 25, Seed: 3}
+	topo, err := backbone.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildInventory(topo, 1), topo, cfg
+}
+
+func TestMediumString(t *testing.T) {
+	if Terrestrial.String() != "terrestrial" || Submarine.String() != "submarine" {
+		t.Error("medium names wrong")
+	}
+	if !strings.Contains(Medium(9).String(), "9") {
+		t.Error("unknown medium String")
+	}
+}
+
+func TestEveryLinkRidesSharedPlusHauls(t *testing.T) {
+	inv, topo, _ := testInventory(t)
+	for _, link := range topo.Links {
+		segs := inv.LinkSegments(link.Name)
+		if len(segs) < 2 {
+			t.Fatalf("link %s rides %d segments, want ≥ 2", link.Name, len(segs))
+		}
+		if !segs[0].Shared {
+			t.Errorf("link %s first segment not the shared last-mile", link.Name)
+		}
+		for _, s := range segs[1:] {
+			if s.Shared {
+				t.Errorf("link %s rides two shared segments", link.Name)
+			}
+			if len(s.Links) != 1 || s.Links[0] != link.Name {
+				t.Errorf("long-haul %s not private to %s", s.ID, link.Name)
+			}
+		}
+	}
+}
+
+func TestSharedRiskGroupsMatchEdges(t *testing.T) {
+	inv, topo, _ := testInventory(t)
+	groups := inv.SharedRiskGroups()
+	if len(groups) != len(topo.Edges) {
+		t.Fatalf("SRGs = %d, want one per edge", len(groups))
+	}
+	for _, e := range topo.Edges {
+		id := "seg-" + e.Name + "-lastmile"
+		links, ok := groups[id]
+		if !ok {
+			t.Fatalf("no SRG for %s", e.Name)
+		}
+		if len(links) != len(e.Links) {
+			t.Errorf("SRG %s carries %d links, edge has %d", id, len(links), len(e.Links))
+		}
+	}
+}
+
+func TestChannelsPerSharedSegment(t *testing.T) {
+	inv, topo, _ := testInventory(t)
+	for _, e := range topo.Edges {
+		seg, ok := inv.Segment("seg-" + e.Name + "-lastmile")
+		if !ok {
+			t.Fatal("missing shared segment")
+		}
+		if len(seg.Channels) != len(e.Links) {
+			t.Errorf("%s carries %d channels for %d links", seg.ID, len(seg.Channels), len(e.Links))
+		}
+		for _, ch := range seg.Channels {
+			if ch.WavelengthNM < 1530 || ch.WavelengthNM > 1565 {
+				t.Errorf("wavelength %d outside C-band", ch.WavelengthNM)
+			}
+			if ch.RouterPort == "" {
+				t.Error("channel without router port")
+			}
+		}
+	}
+}
+
+func TestSubmarineOnlyWhereExpected(t *testing.T) {
+	inv, topo, _ := testInventory(t)
+	for _, e := range topo.Edges {
+		expectSubmarine := e.Continent == backbone.Africa || e.Continent == backbone.Australia
+		for _, li := range e.Links {
+			segs := inv.LinkSegments(topo.Links[li].Name)
+			hasSubmarine := false
+			for _, s := range segs {
+				if s.Medium == Submarine {
+					hasSubmarine = true
+				}
+			}
+			if hasSubmarine != expectSubmarine {
+				t.Errorf("%s (%v): submarine=%v, want %v", e.Name, e.Continent, hasSubmarine, expectSubmarine)
+			}
+		}
+	}
+}
+
+func TestAttributeCutsToSharedSegment(t *testing.T) {
+	inv, topo, cfg := testInventory(t)
+	downs, err := topo.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, isolated := 0, 0
+	for _, d := range downs {
+		seg, err := inv.Attribute(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Cut {
+			cuts++
+			if !seg.Shared || seg.ID != "seg-"+d.Edge+"-lastmile" {
+				t.Fatalf("cut attributed to %s, want the edge's last-mile", seg.ID)
+			}
+		} else {
+			isolated++
+			if seg.Shared {
+				t.Fatalf("isolated failure attributed to shared segment %s", seg.ID)
+			}
+			if len(seg.Links) != 1 || seg.Links[0] != d.Link {
+				t.Fatalf("isolated failure attributed to foreign segment %s", seg.ID)
+			}
+		}
+	}
+	if cuts == 0 || isolated == 0 {
+		t.Fatalf("attribution saw cuts=%d isolated=%d", cuts, isolated)
+	}
+}
+
+func TestAttributeDeterministic(t *testing.T) {
+	inv, topo, cfg := testInventory(t)
+	downs, err := topo.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := downs[0]
+	a, err := inv.Attribute(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inv.Attribute(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID {
+		t.Error("attribution not deterministic")
+	}
+}
+
+func TestAttributeErrors(t *testing.T) {
+	inv, _, _ := testInventory(t)
+	if _, err := inv.Attribute(backbone.LinkDown{Edge: "ghost", Cut: true}); err == nil {
+		t.Error("unknown edge accepted")
+	}
+	if _, err := inv.Attribute(backbone.LinkDown{Link: "ghost"}); err == nil {
+		t.Error("unknown link accepted")
+	}
+}
+
+func TestFailuresByMedium(t *testing.T) {
+	inv, topo, cfg := testInventory(t)
+	downs, err := topo.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := inv.FailuresByMedium(downs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terrestrial := stats[Terrestrial]
+	if terrestrial.Failures == 0 || terrestrial.MeanMTTR <= 0 {
+		t.Errorf("terrestrial stats = %+v", terrestrial)
+	}
+	total := 0
+	for _, s := range stats {
+		total += s.Failures
+	}
+	if total != len(downs) {
+		t.Errorf("attributed %d of %d records", total, len(downs))
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	_, topo, _ := testInventory(t)
+	a := BuildInventory(topo, 9)
+	b := BuildInventory(topo, 9)
+	sa, sb := a.Segments(), b.Segments()
+	if len(sa) != len(sb) {
+		t.Fatal("segment counts differ")
+	}
+	for i := range sa {
+		if sa[i].ID != sb[i].ID || sa[i].LengthKM != sb[i].LengthKM {
+			t.Fatalf("segment %d differs", i)
+		}
+	}
+}
+
+func TestSegmentLookup(t *testing.T) {
+	inv, _, _ := testInventory(t)
+	if _, ok := inv.Segment("nope"); ok {
+		t.Error("unknown segment found")
+	}
+}

@@ -1,0 +1,282 @@
+// Package remediation implements the automated repair system of §4.1: the
+// software that shields the fleet from the vast majority of device issues.
+//
+// A detected fault is submitted to the Engine, which decides whether
+// automation can handle it. Supported device types (RSWs and FSWs fully,
+// Core devices partially — Facebook's own software stack is not pervasive
+// there) get a repair scheduled: the engine assigns a priority from 0
+// (highest) to 3 (lowest), the repair waits in the queue according to its
+// priority and the device type's backlog, then executes in seconds. Faults
+// automation cannot fix escalate to humans and become network incidents —
+// exactly the population the paper's intra-DC study analyzes (§4.1.3).
+package remediation
+
+import (
+	"fmt"
+	"sync"
+
+	"dcnr/internal/des"
+	"dcnr/internal/simrand"
+	"dcnr/internal/topology"
+)
+
+// FaultClass is the taxonomy of device issues §4.1.3 reports, with its
+// observed remediation shares.
+type FaultClass int
+
+const (
+	// PortPingFailure is an unresponsive device port (50% of
+	// remediations), repaired by turning the port off and on again.
+	PortPingFailure FaultClass = iota
+	// ConfigBackupFailure is a configuration file backup failure (32.4%),
+	// repaired by restarting the configuration service and reestablishing
+	// a secure shell connection.
+	ConfigBackupFailure
+	// FanFailure is a failed fan (4.5%); automation extracts failure
+	// details and alerts a technician.
+	FanFailure
+	// DevicePingFailure means the liveness monitor cannot ping the device
+	// (4.0%); automation collects details and assigns a technician task.
+	DevicePingFailure
+	// OtherFailure covers the remaining 9.1% of issue types.
+	OtherFailure
+
+	numFaultClasses = int(OtherFailure) + 1
+)
+
+// FaultClasses lists every fault class.
+var FaultClasses = []FaultClass{PortPingFailure, ConfigBackupFailure, FanFailure, DevicePingFailure, OtherFailure}
+
+// ClassShares returns the observed share of each fault class among
+// remediations (§4.1.3), usable as weights for a categorical draw.
+func ClassShares() []float64 { return []float64{50.0, 32.4, 4.5, 4.0, 9.1} }
+
+var faultClassNames = [numFaultClasses]string{
+	"port ping failure",
+	"configuration backup failure",
+	"fan failure",
+	"device ping failure",
+	"other failure",
+}
+
+var faultClassActions = [numFaultClasses]string{
+	"turn the port off and on again",
+	"restart the configuration service and reestablish a secure shell connection",
+	"extract failure details and alert a technician to examine the faulty fan",
+	"collect details about the device and assign a task to a technician",
+	"run device triage playbook",
+}
+
+// String names the fault class.
+func (c FaultClass) String() string {
+	if c < 0 || int(c) >= numFaultClasses {
+		return fmt.Sprintf("FaultClass(%d)", int(c))
+	}
+	return faultClassNames[c]
+}
+
+// Action describes the automated repair applied for this class.
+func (c FaultClass) Action() string {
+	if c < 0 || int(c) >= numFaultClasses {
+		return "unknown"
+	}
+	return faultClassActions[c]
+}
+
+// policy captures a device type's remediation behaviour, calibrated to
+// Table 1 and §4.1.2.
+type policy struct {
+	supported bool
+	// escalate is the probability automation cannot fix an issue (1 -
+	// repair ratio): Core 1/4, FSW 1/214, RSW 1/397.
+	escalate float64
+	// priorityWeights gives the categorical distribution over priorities
+	// 0..3.
+	priorityWeights []float64
+	// meanWaitHours is the average queueing delay before the repair runs.
+	meanWaitHours float64
+	// meanRepairSeconds is the average execution time of the repair.
+	meanRepairSeconds float64
+}
+
+var policies = map[topology.DeviceType]policy{
+	// Core repairs are always priority 0 and wait ~4 minutes; only 75% of
+	// issues are automatable because most Cores run vendor firmware.
+	topology.Core: {
+		supported:         true,
+		escalate:          1.0 / 4,
+		priorityWeights:   []float64{1, 0, 0, 0},
+		meanWaitHours:     4.0 / 60,
+		meanRepairSeconds: 30.1,
+	},
+	// FSW: average priority 2.25, wait ~3 days, repair 4.45 s.
+	topology.FSW: {
+		supported:         true,
+		escalate:          1.0 / 214,
+		priorityWeights:   []float64{5, 10, 40, 45},
+		meanWaitHours:     72,
+		meanRepairSeconds: 4.45,
+	},
+	// RSW: average priority 2.22, wait ~1 day, repair 2.91 s.
+	topology.RSW: {
+		supported:         true,
+		escalate:          1.0 / 397,
+		priorityWeights:   []float64{5, 10, 43, 42},
+		meanWaitHours:     24,
+		meanRepairSeconds: 2.91,
+	},
+}
+
+// Supported reports whether automated remediation covers the device type
+// (§4.1.2: RSWs, FSWs, and some Core devices).
+func Supported(t topology.DeviceType) bool { return policies[t].supported }
+
+// Outcome reports what the engine did with a submitted fault.
+type Outcome struct {
+	// Repaired is true when automation fixed the issue; false means the
+	// fault escalated to a human and becomes a network incident.
+	Repaired bool
+	// Priority is the assigned repair priority, 0 (highest) to 3
+	// (lowest); -1 when the fault escalated without a repair attempt.
+	Priority int
+	// WaitHours is the time the repair waited in the queue.
+	WaitHours float64
+	// RepairSeconds is the repair's execution time.
+	RepairSeconds float64
+	// Action describes the repair that ran.
+	Action string
+}
+
+// TypeStats aggregates Table 1's per-device-type columns.
+type TypeStats struct {
+	Issues           int
+	Repaired         int
+	Escalated        int
+	sumPriority      float64
+	sumWaitHours     float64
+	sumRepairSeconds float64
+	prioritizedCount int
+}
+
+// RepairRatio is the fraction of issues automation fixed.
+func (s TypeStats) RepairRatio() float64 {
+	if s.Issues == 0 {
+		return 0
+	}
+	return float64(s.Repaired) / float64(s.Issues)
+}
+
+// AvgPriority is the mean assigned priority among attempted repairs.
+func (s TypeStats) AvgPriority() float64 {
+	if s.prioritizedCount == 0 {
+		return 0
+	}
+	return s.sumPriority / float64(s.prioritizedCount)
+}
+
+// AvgWaitHours is the mean queueing delay among attempted repairs.
+func (s TypeStats) AvgWaitHours() float64 {
+	if s.prioritizedCount == 0 {
+		return 0
+	}
+	return s.sumWaitHours / float64(s.prioritizedCount)
+}
+
+// AvgRepairSeconds is the mean repair execution time.
+func (s TypeStats) AvgRepairSeconds() float64 {
+	if s.prioritizedCount == 0 {
+		return 0
+	}
+	return s.sumRepairSeconds / float64(s.prioritizedCount)
+}
+
+// Engine is the automated repair system. It is driven by a des.Simulator:
+// Submit schedules the repair's wait and execution as simulation events.
+type Engine struct {
+	mu      sync.Mutex
+	sim     *des.Simulator
+	rng     *simrand.Stream
+	enabled bool
+	stats   map[topology.DeviceType]*TypeStats
+}
+
+// NewEngine returns an enabled Engine drawing randomness from rng and
+// scheduling on sim.
+func NewEngine(sim *des.Simulator, rng *simrand.Stream) *Engine {
+	return &Engine{
+		sim:     sim,
+		rng:     rng,
+		enabled: true,
+		stats:   make(map[topology.DeviceType]*TypeStats),
+	}
+}
+
+// SetEnabled turns the engine on or off. A disabled engine escalates every
+// fault — the §5.6 ablation.
+func (e *Engine) SetEnabled(v bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.enabled = v
+}
+
+// Enabled reports whether automation is active.
+func (e *Engine) Enabled() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.enabled
+}
+
+// Submit hands a detected fault on a device of type t to the engine. The
+// done callback fires (as a simulation event) once the outcome is known:
+// immediately for escalations, after wait+repair for automated fixes.
+func (e *Engine) Submit(t topology.DeviceType, class FaultClass, done func(Outcome)) {
+	e.mu.Lock()
+	st := e.stats[t]
+	if st == nil {
+		st = &TypeStats{}
+		e.stats[t] = st
+	}
+	st.Issues++
+
+	pol := policies[t]
+	if !e.enabled || !pol.supported || e.rng.Bool(pol.escalate) {
+		st.Escalated++
+		e.mu.Unlock()
+		e.sim.After(0, func(float64) {
+			done(Outcome{Repaired: false, Priority: -1})
+		})
+		return
+	}
+
+	priority := e.rng.Weighted(pol.priorityWeights)
+	wait := e.rng.Exp(pol.meanWaitHours)
+	// LogNormal(-σ²/2, σ) has mean exactly 1, so the repair-time average
+	// matches the policy's calibrated mean.
+	repairSec := e.rng.LogNormal(-0.125, 0.5) * pol.meanRepairSeconds
+	st.Repaired++
+	st.prioritizedCount++
+	st.sumPriority += float64(priority)
+	st.sumWaitHours += wait
+	st.sumRepairSeconds += repairSec
+	e.mu.Unlock()
+
+	out := Outcome{
+		Repaired:      true,
+		Priority:      priority,
+		WaitHours:     wait,
+		RepairSeconds: repairSec,
+		Action:        class.Action(),
+	}
+	e.sim.After(wait+repairSec/3600, func(float64) { done(out) })
+}
+
+// Stats returns a copy of the per-type statistics accumulated so far.
+func (e *Engine) Stats() map[topology.DeviceType]TypeStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[topology.DeviceType]TypeStats, len(e.stats))
+	for t, s := range e.stats {
+		out[t] = *s
+	}
+	return out
+}

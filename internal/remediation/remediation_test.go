@@ -1,0 +1,234 @@
+package remediation
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dcnr/internal/des"
+	"dcnr/internal/simrand"
+	"dcnr/internal/topology"
+)
+
+func newTestEngine() (*Engine, *des.Simulator) {
+	sim := &des.Simulator{}
+	return NewEngine(sim, simrand.New(7)), sim
+}
+
+func TestFaultClassStrings(t *testing.T) {
+	for _, c := range FaultClasses {
+		if strings.Contains(c.String(), "FaultClass(") {
+			t.Errorf("class %d has no name", c)
+		}
+		if c.Action() == "unknown" {
+			t.Errorf("class %d has no action", c)
+		}
+	}
+	if FaultClass(99).Action() != "unknown" {
+		t.Error("out-of-range action")
+	}
+	if !strings.Contains(FaultClass(99).String(), "99") {
+		t.Error("out-of-range String")
+	}
+}
+
+func TestClassSharesMatchPaper(t *testing.T) {
+	shares := ClassShares()
+	if len(shares) != len(FaultClasses) {
+		t.Fatal("shares length mismatch")
+	}
+	sum := 0.0
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-100) > 0.01 {
+		t.Errorf("shares sum = %v, want 100", sum)
+	}
+	if shares[PortPingFailure] != 50.0 || shares[ConfigBackupFailure] != 32.4 {
+		t.Error("§4.1.3 shares wrong")
+	}
+}
+
+func TestSupported(t *testing.T) {
+	for _, dt := range []topology.DeviceType{topology.RSW, topology.FSW, topology.Core} {
+		if !Supported(dt) {
+			t.Errorf("%v should be supported", dt)
+		}
+	}
+	for _, dt := range []topology.DeviceType{topology.CSA, topology.CSW, topology.ESW, topology.SSW, topology.BBR} {
+		if Supported(dt) {
+			t.Errorf("%v should not be supported", dt)
+		}
+	}
+}
+
+func TestUnsupportedTypeAlwaysEscalates(t *testing.T) {
+	e, sim := newTestEngine()
+	escalated := 0
+	for i := 0; i < 100; i++ {
+		e.Submit(topology.CSA, PortPingFailure, func(o Outcome) {
+			if !o.Repaired {
+				escalated++
+			}
+			if o.Priority != -1 {
+				t.Error("escalated fault has a priority")
+			}
+		})
+	}
+	sim.Run(1000)
+	if escalated != 100 {
+		t.Errorf("escalated = %d, want 100", escalated)
+	}
+}
+
+func TestDisabledEngineEscalatesEverything(t *testing.T) {
+	e, sim := newTestEngine()
+	e.SetEnabled(false)
+	if e.Enabled() {
+		t.Fatal("SetEnabled(false) ignored")
+	}
+	repaired := 0
+	for i := 0; i < 200; i++ {
+		e.Submit(topology.RSW, PortPingFailure, func(o Outcome) {
+			if o.Repaired {
+				repaired++
+			}
+		})
+	}
+	sim.Run(10000)
+	if repaired != 0 {
+		t.Errorf("disabled engine repaired %d faults", repaired)
+	}
+}
+
+func TestRepairRatiosMatchTable1(t *testing.T) {
+	e, sim := newTestEngine()
+	const n = 20000
+	for _, dt := range []topology.DeviceType{topology.RSW, topology.FSW, topology.Core} {
+		for i := 0; i < n; i++ {
+			e.Submit(dt, PortPingFailure, func(Outcome) {})
+		}
+	}
+	sim.Run(1e9)
+	st := e.Stats()
+	cases := map[topology.DeviceType]float64{
+		topology.RSW:  1 - 1.0/397, // 99.7%
+		topology.FSW:  1 - 1.0/214, // 99.5%
+		topology.Core: 0.75,
+	}
+	for dt, want := range cases {
+		got := st[dt].RepairRatio()
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%v repair ratio = %.4f, want ~%.4f", dt, got, want)
+		}
+		if st[dt].Issues != n {
+			t.Errorf("%v issues = %d", dt, st[dt].Issues)
+		}
+		if st[dt].Repaired+st[dt].Escalated != st[dt].Issues {
+			t.Errorf("%v repaired+escalated != issues", dt)
+		}
+	}
+}
+
+func TestPrioritiesMatchTable1(t *testing.T) {
+	e, sim := newTestEngine()
+	const n = 20000
+	for _, dt := range []topology.DeviceType{topology.RSW, topology.FSW, topology.Core} {
+		for i := 0; i < n; i++ {
+			e.Submit(dt, PortPingFailure, func(Outcome) {})
+		}
+	}
+	sim.Run(1e9)
+	st := e.Stats()
+	if got := st[topology.Core].AvgPriority(); got != 0 {
+		t.Errorf("Core avg priority = %v, want 0 (highest)", got)
+	}
+	if got := st[topology.FSW].AvgPriority(); math.Abs(got-2.25) > 0.05 {
+		t.Errorf("FSW avg priority = %v, want ~2.25", got)
+	}
+	if got := st[topology.RSW].AvgPriority(); math.Abs(got-2.22) > 0.05 {
+		t.Errorf("RSW avg priority = %v, want ~2.22", got)
+	}
+}
+
+func TestWaitAndRepairTimesMatchTable1(t *testing.T) {
+	e, sim := newTestEngine()
+	const n = 20000
+	for _, dt := range []topology.DeviceType{topology.RSW, topology.FSW, topology.Core} {
+		for i := 0; i < n; i++ {
+			e.Submit(dt, PortPingFailure, func(Outcome) {})
+		}
+	}
+	sim.Run(1e9)
+	st := e.Stats()
+	// Waits: Core ~4 min, FSW ~3 d, RSW ~1 d.
+	if got := st[topology.Core].AvgWaitHours(); math.Abs(got-4.0/60)/(4.0/60) > 0.05 {
+		t.Errorf("Core avg wait = %v h, want ~0.0667", got)
+	}
+	if got := st[topology.FSW].AvgWaitHours(); math.Abs(got-72)/72 > 0.05 {
+		t.Errorf("FSW avg wait = %v h, want ~72", got)
+	}
+	if got := st[topology.RSW].AvgWaitHours(); math.Abs(got-24)/24 > 0.05 {
+		t.Errorf("RSW avg wait = %v h, want ~24", got)
+	}
+	// Repairs: Core ~30.1 s, FSW ~4.45 s, RSW ~2.91 s.
+	if got := st[topology.Core].AvgRepairSeconds(); math.Abs(got-30.1)/30.1 > 0.05 {
+		t.Errorf("Core avg repair = %v s, want ~30.1", got)
+	}
+	if got := st[topology.FSW].AvgRepairSeconds(); math.Abs(got-4.45)/4.45 > 0.05 {
+		t.Errorf("FSW avg repair = %v s, want ~4.45", got)
+	}
+	if got := st[topology.RSW].AvgRepairSeconds(); math.Abs(got-2.91)/2.91 > 0.05 {
+		t.Errorf("RSW avg repair = %v s, want ~2.91", got)
+	}
+}
+
+func TestOutcomeTimingOnSimulator(t *testing.T) {
+	// The done callback for a repaired fault must fire after the wait, as
+	// a simulation event — not immediately.
+	e, sim := newTestEngine()
+	var doneAt float64 = -1
+	var wait float64
+	e.Submit(topology.Core, PortPingFailure, func(o Outcome) {
+		if o.Repaired {
+			doneAt = sim.Now()
+			wait = o.WaitHours
+		}
+	})
+	sim.Run(1e6)
+	if doneAt < 0 {
+		t.Skip("fault escalated on this seed")
+	}
+	if doneAt < wait {
+		t.Errorf("done fired at %v, before the %v wait elapsed", doneAt, wait)
+	}
+}
+
+func TestStatsZeroValue(t *testing.T) {
+	var s TypeStats
+	if s.RepairRatio() != 0 || s.AvgPriority() != 0 || s.AvgWaitHours() != 0 || s.AvgRepairSeconds() != 0 {
+		t.Error("zero stats should yield zero averages")
+	}
+}
+
+func TestStatsCopySemantics(t *testing.T) {
+	e, sim := newTestEngine()
+	e.Submit(topology.RSW, PortPingFailure, func(Outcome) {})
+	sim.Run(1e6)
+	st := e.Stats()
+	s := st[topology.RSW]
+	s.Issues = 999
+	if e.Stats()[topology.RSW].Issues == 999 {
+		t.Error("Stats exposes internal state")
+	}
+}
+
+func BenchmarkSubmit(b *testing.B) {
+	sim := &des.Simulator{}
+	e := NewEngine(sim, simrand.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Submit(topology.RSW, PortPingFailure, func(Outcome) {})
+	}
+	sim.Run(math.Inf(1))
+}

@@ -1,0 +1,123 @@
+package sev
+
+import (
+	"strings"
+	"testing"
+)
+
+func completeReport() Report {
+	r := validReport()
+	r.Impact = "traffic shifted to alternate devices; retries observed"
+	r.ServicesAffected = []string{"web"}
+	return r
+}
+
+func TestCompletenessIssuesOnCompleteReport(t *testing.T) {
+	r := completeReport()
+	if issues := CompletenessIssues(&r); len(issues) != 0 {
+		t.Errorf("complete report has issues: %v", issues)
+	}
+}
+
+func TestCompletenessFindings(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"missing title", func(r *Report) { r.Title = " " }, "missing title"},
+		{"missing impact", func(r *Report) { r.Impact = "" }, "impact"},
+		{"zero duration", func(r *Report) { r.Duration = 0 }, "duration"},
+		{"sev2 without services", func(r *Report) { r.Severity = Sev2; r.ServicesAffected = nil }, "affected services"},
+	}
+	for _, c := range cases {
+		r := completeReport()
+		c.mutate(&r)
+		issues := CompletenessIssues(&r)
+		found := false
+		for _, issue := range issues {
+			if strings.Contains(issue, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: issues %v missing %q", c.name, issues, c.want)
+		}
+	}
+}
+
+func TestSev3WithoutServicesIsAcceptable(t *testing.T) {
+	// Contained SEV3s (redundant failures) need not list affected
+	// services.
+	r := completeReport()
+	r.Severity = Sev3
+	r.ServicesAffected = nil
+	if issues := CompletenessIssues(&r); len(issues) != 0 {
+		t.Errorf("SEV3 without services flagged: %v", issues)
+	}
+}
+
+func TestPublishWorkflow(t *testing.T) {
+	s := NewStore()
+	r := completeReport()
+	r.Reviewed = false
+	id, err := s.Add(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Unreviewed(); len(got) != 1 || got[0] != id {
+		t.Fatalf("Unreviewed = %v", got)
+	}
+	if err := s.Publish(id, "jjm"); err != nil {
+		t.Fatal(err)
+	}
+	published, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !published.Reviewed || published.Reviewer != "jjm" {
+		t.Errorf("published = %+v", published)
+	}
+	if got := s.Unreviewed(); len(got) != 0 {
+		t.Errorf("review queue not drained: %v", got)
+	}
+	// Double publish rejected.
+	if err := s.Publish(id, "other"); err == nil {
+		t.Error("second publish accepted")
+	}
+}
+
+func TestPublishRejectsIncomplete(t *testing.T) {
+	s := NewStore()
+	r := completeReport()
+	r.Reviewed = false
+	r.Impact = ""
+	id, err := s.Add(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Publish(id, "jjm")
+	if err == nil {
+		t.Fatal("incomplete report published")
+	}
+	if !strings.Contains(err.Error(), "impact") {
+		t.Errorf("error does not name the finding: %v", err)
+	}
+	got, _ := s.Get(id)
+	if got.Reviewed {
+		t.Error("rejected report marked reviewed")
+	}
+}
+
+func TestPublishErrors(t *testing.T) {
+	s := NewStore()
+	if err := s.Publish(42, "jjm"); err == nil {
+		t.Error("publish of missing report accepted")
+	}
+	r := completeReport()
+	r.Reviewed = false
+	id, _ := s.Add(r)
+	if err := s.Publish(id, "  "); err == nil {
+		t.Error("empty reviewer accepted")
+	}
+}

@@ -1,0 +1,273 @@
+// Package stats implements the statistical machinery the reliability study
+// relies on: summary statistics, percentiles, least-squares exponential fits
+// of percentile curves (the MTBF/MTTR models of §6), linear regression, and
+// correlation.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned by estimators that need more samples than
+// they were given.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Summary holds the moments of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Sum    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns an error for an empty
+// sample or p outside [0, 100].
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrInsufficientData
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentiles returns the given percentiles of xs in one pass over a single
+// sorted copy.
+func Percentiles(xs []float64, ps ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrInsufficientData
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 || p > 100 {
+			return nil, errors.New("stats: percentile out of range")
+		}
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out, nil
+}
+
+// Point is an (X, Y) observation.
+type Point struct {
+	X, Y float64
+}
+
+// LinearFit is a least-squares line y = Intercept + Slope*x with its
+// coefficient of determination.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLinear fits a least-squares line to pts. It returns
+// ErrInsufficientData for fewer than two points or zero X variance.
+func FitLinear(pts []Point) (LinearFit, error) {
+	n := float64(len(pts))
+	if n < 2 {
+		return LinearFit{}, ErrInsufficientData
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+		sxx += p.X * p.X
+		sxy += p.X * p.Y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{}, ErrInsufficientData
+	}
+	fit := LinearFit{Slope: (n*sxy - sx*sy) / den}
+	fit.Intercept = (sy - fit.Slope*sx) / n
+
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for _, p := range pts {
+		pred := fit.Intercept + fit.Slope*p.X
+		ssRes += (p.Y - pred) * (p.Y - pred)
+		ssTot += (p.Y - meanY) * (p.Y - meanY)
+	}
+	if ssTot == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = 1 - ssRes/ssTot
+	}
+	return fit, nil
+}
+
+// ExpFit is an exponential model y = A * exp(B*x) fitted by least squares on
+// log(y) — the method §6.1 of the paper states it used. R2 is computed in
+// the original (non-log) space so it is comparable to the paper's reported
+// R² values.
+type ExpFit struct {
+	A, B float64
+	R2   float64
+}
+
+// Eval returns the model's prediction at x.
+func (f ExpFit) Eval(x float64) float64 { return f.A * math.Exp(f.B*x) }
+
+// FitExponential fits y = A*exp(B*x) to pts. All Y values must be positive;
+// non-positive Y values are rejected because the log-linearization is
+// undefined for them.
+func FitExponential(pts []Point) (ExpFit, error) {
+	logPts := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if p.Y <= 0 {
+			return ExpFit{}, errors.New("stats: exponential fit requires positive Y")
+		}
+		logPts = append(logPts, Point{X: p.X, Y: math.Log(p.Y)})
+	}
+	lin, err := FitLinear(logPts)
+	if err != nil {
+		return ExpFit{}, err
+	}
+	fit := ExpFit{A: math.Exp(lin.Intercept), B: lin.Slope}
+
+	meanY := 0.0
+	for _, p := range pts {
+		meanY += p.Y
+	}
+	meanY /= float64(len(pts))
+	var ssTot, ssRes float64
+	for _, p := range pts {
+		pred := fit.Eval(p.X)
+		ssRes += (p.Y - pred) * (p.Y - pred)
+		ssTot += (p.Y - meanY) * (p.Y - meanY)
+	}
+	if ssTot == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = 1 - ssRes/ssTot
+	}
+	return fit, nil
+}
+
+// PercentileCurve maps each sample to the fraction of samples at or below it:
+// the solid lines of Figures 15–18. The returned points are sorted by value,
+// with X the percentile fraction in (0, 1] and Y the sample value.
+func PercentileCurve(xs []float64) []Point {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pts := make([]Point, len(sorted))
+	for i, v := range sorted {
+		pts[i] = Point{X: float64(i+1) / float64(len(sorted)), Y: v}
+	}
+	return pts
+}
+
+// Correlation returns the Pearson correlation coefficient of pts, or an
+// error when either variance is zero or there are fewer than two points.
+func Correlation(pts []Point) (float64, error) {
+	n := float64(len(pts))
+	if n < 2 {
+		return 0, ErrInsufficientData
+	}
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for _, p := range pts {
+		dx, dy := p.X-mx, p.Y-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, ErrInsufficientData
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Histogram counts xs into nbins equal-width bins over [min, max]. Values
+// outside the range are clamped into the terminal bins.
+func Histogram(xs []float64, min, max float64, nbins int) []int {
+	if nbins <= 0 || max <= min {
+		return nil
+	}
+	counts := make([]int, nbins)
+	width := (max - min) / float64(nbins)
+	for _, x := range xs {
+		i := int((x - min) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		counts[i]++
+	}
+	return counts
+}

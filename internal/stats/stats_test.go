@@ -1,0 +1,329 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dcnr/internal/simrand"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	// Sample std dev of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almostEqual(s.StdDev, want, 1e-12) {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Sum != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{75, 40},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	got, err := Percentile([]float64{0, 10}, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 7.5, 1e-12) {
+		t.Errorf("P75 of {0,10} = %v, want 7.5", got)
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty sample: want error")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("p=-1: want error")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("p=101: want error")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	got, err := Percentiles([]float64{1, 2, 3, 4, 5}, 0, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	pts := []Point{{0, 1}, {1, 3}, {2, 5}, {3, 7}}
+	fit, err := FitLinear(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-12) || !almostEqual(fit.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if fit.R2 != 1 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]Point{{1, 1}}); err == nil {
+		t.Error("one point: want error")
+	}
+	if _, err := FitLinear([]Point{{1, 1}, {1, 2}}); err == nil {
+		t.Error("zero X variance: want error")
+	}
+}
+
+func TestFitExponentialRecoversModel(t *testing.T) {
+	// Sample the paper's edge-MTBF model MTBF(p) = 462.88*e^(2.3408p) and
+	// confirm the fitter recovers A and B.
+	const a, b = 462.88, 2.3408
+	var pts []Point
+	for p := 0.05; p <= 1.0; p += 0.05 {
+		pts = append(pts, Point{X: p, Y: a * math.Exp(b*p)})
+	}
+	fit, err := FitExponential(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.A, a, 1e-6) || !almostEqual(fit.B, b, 1e-6) {
+		t.Errorf("fit = %+v, want A=%v B=%v", fit, a, b)
+	}
+	if fit.R2 < 0.9999 {
+		t.Errorf("R2 = %v, want ~1 for noiseless data", fit.R2)
+	}
+}
+
+func TestFitExponentialNoisy(t *testing.T) {
+	r := simrand.New(11)
+	const a, b = 1.513, 4.256 // paper's edge-MTTR model
+	var pts []Point
+	for p := 0.02; p <= 1.0; p += 0.02 {
+		noise := 1 + 0.1*(r.Float64()-0.5)
+		pts = append(pts, Point{X: p, Y: a * math.Exp(b*p) * noise})
+	}
+	fit, err := FitExponential(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B-b)/b > 0.05 {
+		t.Errorf("B = %v, want within 5%% of %v", fit.B, b)
+	}
+	if fit.R2 < 0.9 {
+		t.Errorf("R2 = %v, want > 0.9", fit.R2)
+	}
+}
+
+func TestFitExponentialRejectsNonPositive(t *testing.T) {
+	if _, err := FitExponential([]Point{{0, 1}, {1, 0}}); err == nil {
+		t.Error("want error for Y=0")
+	}
+	if _, err := FitExponential([]Point{{0, 1}, {1, -2}}); err == nil {
+		t.Error("want error for Y<0")
+	}
+}
+
+func TestPercentileCurve(t *testing.T) {
+	pts := PercentileCurve([]float64{30, 10, 20})
+	if len(pts) != 3 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	wantY := []float64{10, 20, 30}
+	for i, p := range pts {
+		if p.Y != wantY[i] {
+			t.Errorf("point %d Y = %v, want %v", i, p.Y, wantY[i])
+		}
+		wantX := float64(i+1) / 3
+		if !almostEqual(p.X, wantX, 1e-12) {
+			t.Errorf("point %d X = %v, want %v", i, p.X, wantX)
+		}
+	}
+	if PercentileCurve(nil) != nil {
+		t.Error("empty input: want nil")
+	}
+}
+
+func TestPercentileCurveMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := simrand.New(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = r.Exp(100)
+		}
+		pts := PercentileCurve(xs)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Y < pts[i-1].Y || pts[i].X <= pts[i-1].X {
+				return false
+			}
+		}
+		return pts[len(pts)-1].X == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	pts := []Point{{1, 2}, {2, 4}, {3, 6}}
+	c, err := Correlation(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, 1, 1e-12) {
+		t.Errorf("perfect positive correlation = %v", c)
+	}
+	pts = []Point{{1, 6}, {2, 4}, {3, 2}}
+	c, _ = Correlation(pts)
+	if !almostEqual(c, -1, 1e-12) {
+		t.Errorf("perfect negative correlation = %v", c)
+	}
+}
+
+func TestCorrelationErrors(t *testing.T) {
+	if _, err := Correlation([]Point{{1, 1}}); err == nil {
+		t.Error("one point: want error")
+	}
+	if _, err := Correlation([]Point{{1, 1}, {1, 2}, {1, 3}}); err == nil {
+		t.Error("zero variance: want error")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts := Histogram([]float64{0.5, 1.5, 2.5, 2.6, -1, 11}, 0, 10, 10)
+	if counts[0] != 2 { // 0.5 and clamped -1
+		t.Errorf("bin 0 = %d, want 2", counts[0])
+	}
+	if counts[2] != 2 {
+		t.Errorf("bin 2 = %d, want 2", counts[2])
+	}
+	if counts[9] != 1 { // clamped 11
+		t.Errorf("bin 9 = %d, want 1", counts[9])
+	}
+	if Histogram(nil, 0, 0, 10) != nil {
+		t.Error("max<=min: want nil")
+	}
+	if Histogram(nil, 0, 1, 0) != nil {
+		t.Error("nbins=0: want nil")
+	}
+}
+
+func TestFitExponentialPropertyRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := simrand.New(seed)
+		a := 1 + r.Float64()*1000
+		b := 0.5 + r.Float64()*5
+		var pts []Point
+		for p := 0.1; p <= 1.0; p += 0.1 {
+			pts = append(pts, Point{X: p, Y: a * math.Exp(b*p)})
+		}
+		fit, err := FitExponential(pts)
+		if err != nil {
+			return false
+		}
+		return almostEqual(fit.A, a, 1e-6) && almostEqual(fit.B, b, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFitExponential(b *testing.B) {
+	r := simrand.New(1)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Exp(1000)
+	}
+	pts := PercentileCurve(xs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = FitExponential(pts)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	// Percentile(xs, p) is non-decreasing in p for any sample.
+	f := func(seed uint64) bool {
+		r := simrand.New(seed)
+		xs := make([]float64, 1+r.Intn(60))
+		for i := range xs {
+			xs[i] = r.Exp(50)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v, err := Percentile(xs, p)
+			if err != nil || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

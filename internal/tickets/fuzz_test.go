@@ -1,0 +1,41 @@
+package tickets
+
+import (
+	"strings"
+	"testing"
+
+	"dcnr/internal/backbone"
+)
+
+// FuzzParse checks that Parse never panics and that accepted notices
+// re-format and re-parse to the same notice (idempotent round trip).
+func FuzzParse(f *testing.F) {
+	f.Add(sampleFuzzNotice().Format())
+	f.Add("Ticket-ID: X\nVendor: v\nLink: l\nEdge: e\nEvent: REPAIR_START\nAt-Hours: 1\n")
+	f.Add("")
+	f.Add("garbage\n\n::\n")
+	f.Add("Ticket-ID: a\nAt-Hours: -1\n")
+	f.Add(strings.Repeat("Vendor: v\n", 100))
+	f.Fuzz(func(t *testing.T, text string) {
+		n, err := Parse(text)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted notices round-trip.
+		n2, err := Parse(n.Format())
+		if err != nil {
+			t.Fatalf("re-parse of formatted notice failed: %v\n%s", err, n.Format())
+		}
+		if n2.TicketID != n.TicketID || n2.Event != n.Event || n2.Continent != n.Continent {
+			t.Fatalf("round trip changed notice: %+v vs %+v", n, n2)
+		}
+	})
+}
+
+func sampleFuzzNotice() Notice {
+	return Notice{
+		TicketID: "TKT-000001", Vendor: "vendor01", Link: "link0001",
+		Circuit: "CKT-00001-01", Edge: "edge001", Continent: backbone.Asia,
+		Event: RepairStart, AtHours: 10, EstimatedHours: 2,
+	}
+}

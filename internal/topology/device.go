@@ -1,0 +1,191 @@
+// Package topology models the data center network graph of the study:
+// regions containing data centers built with either the classic cluster
+// design (RSW → CSW → CSA → Core) or the data center fabric design
+// (RSW → FSW → SSW → ESW → Core), plus the backbone routers that connect
+// regions to the WAN (§3 of the paper).
+//
+// Devices follow the naming convention §4.3.1 describes: every device name
+// is prefixed with its lower-case type ("rsw.", "csw.", …), and the incident
+// classifier recovers the device type by parsing that prefix.
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DeviceType enumerates the network device types of Figure 1.
+type DeviceType int
+
+const (
+	// RSW is a rack switch (top-of-rack), present in both designs.
+	RSW DeviceType = iota
+	// CSW is a cluster switch (cluster design).
+	CSW
+	// CSA is a cluster switch aggregator (cluster design).
+	CSA
+	// FSW is a fabric switch (fabric design).
+	FSW
+	// SSW is a spine switch (fabric design).
+	SSW
+	// ESW is an edge switch (fabric design).
+	ESW
+	// Core is a core network device connecting data centers and the backbone.
+	Core
+	// BBR is a backbone router located in an edge node.
+	BBR
+
+	numDeviceTypes = int(BBR) + 1
+)
+
+// DeviceTypes lists every device type in a stable display order (the order
+// the paper's figures use: Core, CSA, CSW, ESW, SSW, FSW, RSW) followed by
+// BBR.
+var DeviceTypes = []DeviceType{Core, CSA, CSW, ESW, SSW, FSW, RSW, BBR}
+
+// IntraDCTypes lists the device types that appear in the intra-data-center
+// analyses (Figures 2–13), in the paper's display order.
+var IntraDCTypes = []DeviceType{Core, CSA, CSW, ESW, SSW, FSW, RSW}
+
+var deviceTypeNames = [numDeviceTypes]string{
+	RSW: "RSW", CSW: "CSW", CSA: "CSA", FSW: "FSW",
+	SSW: "SSW", ESW: "ESW", Core: "Core", BBR: "BBR",
+}
+
+// String returns the display name used in the paper's figures.
+func (t DeviceType) String() string {
+	if t < 0 || int(t) >= numDeviceTypes {
+		return fmt.Sprintf("DeviceType(%d)", int(t))
+	}
+	return deviceTypeNames[t]
+}
+
+// Prefix returns the lower-case name prefix of the naming convention, e.g.
+// "rsw" for rack switches.
+func (t DeviceType) Prefix() string { return strings.ToLower(t.String()) }
+
+// Design identifies which network design a device type belongs to.
+type Design int
+
+const (
+	// DesignShared marks device types present in both designs (RSW, Core)
+	// or outside them (BBR).
+	DesignShared Design = iota
+	// DesignCluster marks classic cluster-network device types (CSA, CSW).
+	DesignCluster
+	// DesignFabric marks data center fabric device types (ESW, SSW, FSW).
+	DesignFabric
+)
+
+// String returns the design's display name.
+func (d Design) String() string {
+	switch d {
+	case DesignCluster:
+		return "Cluster"
+	case DesignFabric:
+		return "Fabric"
+	default:
+		return "Shared"
+	}
+}
+
+// Design returns the network design the device type belongs to, following
+// §4.3.1: CSA and CSW belong to cluster networks; ESW, SSW, and FSW belong
+// to the fabric.
+func (t DeviceType) Design() Design {
+	switch t {
+	case CSA, CSW:
+		return DesignCluster
+	case ESW, SSW, FSW:
+		return DesignFabric
+	default:
+		return DesignShared
+	}
+}
+
+// BisectionRank orders device types by the share of traffic that transits
+// them (a proxy for bisection bandwidth): higher rank ⇒ more aggregated
+// downstream capacity ⇒ wider blast radius on failure (§5.2's first
+// observation). Core is highest; RSW lowest.
+func (t DeviceType) BisectionRank() int {
+	switch t {
+	case Core:
+		return 6
+	case CSA:
+		return 5
+	case ESW:
+		return 4
+	case SSW:
+		return 3
+	case CSW:
+		return 2
+	case FSW:
+		return 1
+	default: // RSW, BBR
+		return 0
+	}
+}
+
+// Commodity reports whether the device type is built from commodity chips
+// running Facebook's own software stack (fabric devices and RSWs since
+// 2013), as opposed to proprietary third-party vendor hardware (Cores and
+// CSAs, §5.2).
+func (t DeviceType) Commodity() bool {
+	switch t {
+	case FSW, SSW, ESW, RSW:
+		return true
+	default:
+		return false
+	}
+}
+
+// ParseDeviceName recovers the device type from a device name using the
+// prefix-based naming convention ("rsw001.p1.dc1.ra" → RSW). It returns an
+// error when the prefix matches no known type.
+func ParseDeviceName(name string) (DeviceType, error) {
+	lower := strings.ToLower(name)
+	for _, t := range DeviceTypes {
+		p := t.Prefix()
+		if strings.HasPrefix(lower, p) {
+			rest := lower[len(p):]
+			if rest == "" || !isLetter(rest[0]) {
+				return t, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("topology: unrecognized device name %q", name)
+}
+
+func isLetter(b byte) bool {
+	return (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+// Device is a single network device in the graph.
+type Device struct {
+	// Name is the unique, machine-understandable device name, prefixed
+	// with the device type per the naming convention.
+	Name string
+	// Type is the device type.
+	Type DeviceType
+	// DC is the data center the device sits in ("" for backbone routers).
+	DC string
+	// Region is the region containing the data center or edge.
+	Region string
+	// Unit is the deployment unit within the data center: the cluster for
+	// cluster networks, the pod for fabric networks, or "" for devices
+	// above that level.
+	Unit string
+}
+
+// MakeName builds a canonical device name: prefix + ordinal, dot-joined with
+// the unit, data center and region (empty parts are skipped), e.g.
+// "rsw004.pod002.dc1.regionb".
+func MakeName(t DeviceType, ordinal int, unit, dc, region string) string {
+	parts := []string{fmt.Sprintf("%s%03d", t.Prefix(), ordinal)}
+	for _, p := range []string{unit, dc, region} {
+		if p != "" {
+			parts = append(parts, strings.ToLower(p))
+		}
+	}
+	return strings.Join(parts, ".")
+}

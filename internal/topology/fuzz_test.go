@@ -1,0 +1,53 @@
+package topology
+
+import "testing"
+
+// FuzzParseDeviceName checks the name classifier never panics and stays
+// consistent with MakeName.
+func FuzzParseDeviceName(f *testing.F) {
+	f.Add("rsw001.pod001.dc1.regiona")
+	f.Add("core005")
+	f.Add("")
+	f.Add("RSW")
+	f.Add("rswitch")
+	f.Add("csa.csw.rsw")
+	f.Add("\x00\xff")
+	f.Fuzz(func(t *testing.T, name string) {
+		dt, err := ParseDeviceName(name)
+		if err != nil {
+			return
+		}
+		// An accepted name must start with the type's prefix
+		// (case-insensitively); re-deriving the prefix must agree.
+		prefix := dt.Prefix()
+		if len(name) < len(prefix) {
+			t.Fatalf("accepted %q shorter than prefix %q", name, prefix)
+		}
+		for i := 0; i < len(prefix); i++ {
+			c := name[i]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != prefix[i] {
+				t.Fatalf("accepted %q does not carry prefix %q", name, prefix)
+			}
+		}
+	})
+}
+
+// FuzzMakeName checks generated names always classify back to their type.
+func FuzzMakeName(f *testing.F) {
+	f.Add(uint8(0), 1, "pod001", "dc1", "regiona")
+	f.Add(uint8(7), 999, "", "", "")
+	f.Fuzz(func(t *testing.T, typ uint8, ordinal int, unit, dc, region string) {
+		dt := DeviceTypes[int(typ)%len(DeviceTypes)]
+		name := MakeName(dt, ordinal, unit, dc, region)
+		got, err := ParseDeviceName(name)
+		if err != nil {
+			t.Fatalf("MakeName produced unparseable %q: %v", name, err)
+		}
+		if got != dt {
+			t.Fatalf("MakeName(%v) classified as %v (%q)", dt, got, name)
+		}
+	})
+}

@@ -1,0 +1,296 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Network is an undirected device graph. The zero value is empty and ready
+// to use via its methods (maps are allocated lazily).
+type Network struct {
+	devices map[string]*Device
+	adj     map[string][]string
+	// order preserves insertion order for deterministic iteration.
+	order []string
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		devices: make(map[string]*Device),
+		adj:     make(map[string][]string),
+	}
+}
+
+// AddDevice inserts d into the graph. It returns an error if a device with
+// the same name already exists or the name does not parse to d.Type.
+func (n *Network) AddDevice(d Device) error {
+	if _, ok := n.devices[d.Name]; ok {
+		return fmt.Errorf("topology: duplicate device %q", d.Name)
+	}
+	if t, err := ParseDeviceName(d.Name); err != nil || t != d.Type {
+		return fmt.Errorf("topology: device name %q does not match type %v", d.Name, d.Type)
+	}
+	dd := d
+	n.devices[d.Name] = &dd
+	n.order = append(n.order, d.Name)
+	return nil
+}
+
+// AddLink connects devices a and b. Both must exist; self-links and
+// duplicate links are rejected.
+func (n *Network) AddLink(a, b string) error {
+	if a == b {
+		return fmt.Errorf("topology: self-link on %q", a)
+	}
+	if _, ok := n.devices[a]; !ok {
+		return fmt.Errorf("topology: unknown device %q", a)
+	}
+	if _, ok := n.devices[b]; !ok {
+		return fmt.Errorf("topology: unknown device %q", b)
+	}
+	for _, nb := range n.adj[a] {
+		if nb == b {
+			return fmt.Errorf("topology: duplicate link %q-%q", a, b)
+		}
+	}
+	n.adj[a] = append(n.adj[a], b)
+	n.adj[b] = append(n.adj[b], a)
+	return nil
+}
+
+// Device returns the named device, or nil if absent.
+func (n *Network) Device(name string) *Device { return n.devices[name] }
+
+// Devices returns all devices in insertion order.
+func (n *Network) Devices() []*Device {
+	out := make([]*Device, 0, len(n.order))
+	for _, name := range n.order {
+		out = append(out, n.devices[name])
+	}
+	return out
+}
+
+// DevicesOfType returns the devices of type t in insertion order.
+func (n *Network) DevicesOfType(t DeviceType) []*Device {
+	var out []*Device
+	for _, name := range n.order {
+		if d := n.devices[name]; d.Type == t {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Neighbors returns the names adjacent to name (shared slice: callers must
+// not mutate).
+func (n *Network) Neighbors(name string) []string { return n.adj[name] }
+
+// Degree returns the number of links incident to name.
+func (n *Network) Degree(name string) int { return len(n.adj[name]) }
+
+// NumDevices returns the device count.
+func (n *Network) NumDevices() int { return len(n.devices) }
+
+// NumLinks returns the link count.
+func (n *Network) NumLinks() int {
+	total := 0
+	for _, nbrs := range n.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// Population counts devices by type.
+func (n *Network) Population() map[DeviceType]int {
+	pop := make(map[DeviceType]int)
+	for _, d := range n.devices {
+		pop[d.Type]++
+	}
+	return pop
+}
+
+// Reachable reports whether a path exists from src to dst avoiding the
+// devices in down (both endpoints must themselves be up).
+func (n *Network) Reachable(src, dst string, down map[string]bool) bool {
+	if down[src] || down[dst] {
+		return false
+	}
+	if _, ok := n.devices[src]; !ok {
+		return false
+	}
+	if src == dst {
+		return true
+	}
+	seen := map[string]bool{src: true}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range n.adj[cur] {
+			if seen[nb] || down[nb] {
+				continue
+			}
+			if nb == dst {
+				return true
+			}
+			seen[nb] = true
+			queue = append(queue, nb)
+		}
+	}
+	return false
+}
+
+// ReachableSet returns every device reachable from src avoiding down,
+// including src itself. It returns nil if src is down or unknown.
+func (n *Network) ReachableSet(src string, down map[string]bool) map[string]bool {
+	if down[src] {
+		return nil
+	}
+	if _, ok := n.devices[src]; !ok {
+		return nil
+	}
+	seen := map[string]bool{src: true}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range n.adj[cur] {
+			if seen[nb] || down[nb] {
+				continue
+			}
+			seen[nb] = true
+			queue = append(queue, nb)
+		}
+	}
+	return seen
+}
+
+// DisjointPaths returns the number of node-disjoint paths between src and
+// dst (excluding the endpoints themselves), computed by iterative BFS with
+// interior-node removal. It is exact for the layered graphs built here and
+// is the path-diversity measure used by the service impact model.
+func (n *Network) DisjointPaths(src, dst string) int {
+	if src == dst {
+		return 0
+	}
+	removed := make(map[string]bool)
+	count := 0
+	for {
+		path := n.shortestPath(src, dst, removed)
+		if path == nil {
+			return count
+		}
+		count++
+		for _, v := range path[1 : len(path)-1] {
+			removed[v] = true
+		}
+		if len(path) == 2 {
+			// Directly linked: a direct edge is one path; no interior
+			// nodes to remove, so stop to avoid counting it forever.
+			return count
+		}
+	}
+}
+
+func (n *Network) shortestPath(src, dst string, down map[string]bool) []string {
+	if down[src] || down[dst] {
+		return nil
+	}
+	if _, ok := n.devices[src]; !ok {
+		return nil
+	}
+	prev := map[string]string{src: src}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			var path []string
+			for v := dst; ; v = prev[v] {
+				path = append(path, v)
+				if v == src {
+					break
+				}
+			}
+			// Reverse in place.
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path
+		}
+		for _, nb := range n.adj[cur] {
+			if down[nb] {
+				continue
+			}
+			if _, seen := prev[nb]; seen {
+				continue
+			}
+			prev[nb] = cur
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}
+
+// StrandedRacks returns the RSWs that can no longer reach any Core device
+// when the devices in down fail. A stranded rack has lost all north-south
+// connectivity — the paper's "partitioned connectivity" service impact.
+func (n *Network) StrandedRacks(down map[string]bool) []string {
+	cores := n.DevicesOfType(Core)
+	var stranded []string
+	for _, rsw := range n.DevicesOfType(RSW) {
+		if down[rsw.Name] {
+			stranded = append(stranded, rsw.Name)
+			continue
+		}
+		ok := false
+		reach := n.ReachableSet(rsw.Name, down)
+		for _, c := range cores {
+			if reach[c.Name] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			stranded = append(stranded, rsw.Name)
+		}
+	}
+	sort.Strings(stranded)
+	return stranded
+}
+
+// DownstreamRacks returns how many RSWs route through the named device to
+// reach a Core: the count of racks whose Core connectivity degrades (loses
+// at least the failed device's paths) when it fails. For an RSW it returns
+// 1 (itself). This realizes §5.4's observation that devices with higher
+// bisection bandwidth affect a larger number of connected downstream
+// devices.
+func (n *Network) DownstreamRacks(name string) int {
+	d := n.devices[name]
+	if d == nil {
+		return 0
+	}
+	if d.Type == RSW {
+		return 1
+	}
+	reach := n.ReachableSet(name, nil)
+	count := 0
+	for _, rsw := range n.DevicesOfType(RSW) {
+		if reach[rsw.Name] && n.sameSide(d, n.devices[rsw.Name]) {
+			count++
+		}
+	}
+	return count
+}
+
+func (n *Network) sameSide(agg, rsw *Device) bool {
+	switch agg.Type {
+	case Core, BBR:
+		return true
+	case CSA, ESW, SSW:
+		return agg.DC == rsw.DC
+	default: // CSW, FSW aggregate within a unit
+		return agg.DC == rsw.DC && agg.Unit == rsw.Unit
+	}
+}

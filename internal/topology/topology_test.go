@@ -1,0 +1,392 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeviceTypeString(t *testing.T) {
+	cases := map[DeviceType]string{
+		RSW: "RSW", CSW: "CSW", CSA: "CSA", FSW: "FSW",
+		SSW: "SSW", ESW: "ESW", Core: "Core", BBR: "BBR",
+	}
+	for dt, want := range cases {
+		if got := dt.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", dt, got, want)
+		}
+	}
+	if got := DeviceType(99).String(); got != "DeviceType(99)" {
+		t.Errorf("out-of-range String = %q", got)
+	}
+}
+
+func TestDesignClassification(t *testing.T) {
+	if CSA.Design() != DesignCluster || CSW.Design() != DesignCluster {
+		t.Error("CSA/CSW must be cluster design")
+	}
+	for _, dt := range []DeviceType{ESW, SSW, FSW} {
+		if dt.Design() != DesignFabric {
+			t.Errorf("%v must be fabric design", dt)
+		}
+	}
+	for _, dt := range []DeviceType{RSW, Core, BBR} {
+		if dt.Design() != DesignShared {
+			t.Errorf("%v must be shared", dt)
+		}
+	}
+	if DesignCluster.String() != "Cluster" || DesignFabric.String() != "Fabric" || DesignShared.String() != "Shared" {
+		t.Error("Design String values wrong")
+	}
+}
+
+func TestBisectionRankOrdering(t *testing.T) {
+	// §5.2: Core and CSA have the highest bisection bandwidth; RSW lowest.
+	if !(Core.BisectionRank() > CSA.BisectionRank()) {
+		t.Error("Core must outrank CSA")
+	}
+	if !(CSA.BisectionRank() > CSW.BisectionRank()) {
+		t.Error("CSA must outrank CSW")
+	}
+	if !(FSW.BisectionRank() > RSW.BisectionRank()) {
+		t.Error("FSW must outrank RSW")
+	}
+}
+
+func TestCommodity(t *testing.T) {
+	for _, dt := range []DeviceType{FSW, SSW, ESW, RSW} {
+		if !dt.Commodity() {
+			t.Errorf("%v should be commodity", dt)
+		}
+	}
+	for _, dt := range []DeviceType{Core, CSA, CSW, BBR} {
+		if dt.Commodity() {
+			t.Errorf("%v should not be commodity", dt)
+		}
+	}
+}
+
+func TestParseDeviceName(t *testing.T) {
+	cases := map[string]DeviceType{
+		"rsw001.pod002.dc1.regiona": RSW,
+		"csw004.cl001.dc2.regiona":  CSW,
+		"csa001.dc2.regiona":        CSA,
+		"fsw016.pod004.dc3.regionb": FSW,
+		"ssw002.dc3.regionb":        SSW,
+		"esw001.dc3.regionb":        ESW,
+		"core005.dc1.regiona":       Core,
+		"bbr001.edge1":              BBR,
+		"RSW9.X":                    RSW, // case-insensitive
+	}
+	for name, want := range cases {
+		got, err := ParseDeviceName(name)
+		if err != nil {
+			t.Errorf("ParseDeviceName(%q): %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseDeviceName(%q) = %v, want %v", name, got, want)
+		}
+	}
+	for _, bad := range []string{"", "xyz001", "switch1", "rswitch1"} {
+		if _, err := ParseDeviceName(bad); err == nil {
+			t.Errorf("ParseDeviceName(%q): want error", bad)
+		}
+	}
+}
+
+func TestMakeNameRoundTrips(t *testing.T) {
+	f := func(ord uint8) bool {
+		for _, dt := range DeviceTypes {
+			name := MakeName(dt, int(ord), "u1", "dc1", "r1")
+			got, err := ParseDeviceName(name)
+			if err != nil || got != dt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddDeviceValidation(t *testing.T) {
+	n := NewNetwork()
+	d := Device{Name: "rsw001", Type: RSW}
+	if err := n.AddDevice(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddDevice(d); err == nil {
+		t.Error("duplicate device accepted")
+	}
+	if err := n.AddDevice(Device{Name: "rsw002", Type: Core}); err == nil {
+		t.Error("name/type mismatch accepted")
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	n := NewNetwork()
+	mustAdd(t, n, Device{Name: "rsw001", Type: RSW})
+	mustAdd(t, n, Device{Name: "csw001", Type: CSW})
+	if err := n.AddLink("rsw001", "csw001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddLink("rsw001", "csw001"); err == nil {
+		t.Error("duplicate link accepted")
+	}
+	if err := n.AddLink("csw001", "rsw001"); err == nil {
+		t.Error("reversed duplicate link accepted")
+	}
+	if err := n.AddLink("rsw001", "rsw001"); err == nil {
+		t.Error("self link accepted")
+	}
+	if err := n.AddLink("rsw001", "nope"); err == nil {
+		t.Error("link to unknown device accepted")
+	}
+	if n.NumLinks() != 1 {
+		t.Errorf("NumLinks = %d", n.NumLinks())
+	}
+}
+
+func mustAdd(t *testing.T, n *Network, d Device) {
+	t.Helper()
+	if err := n.AddDevice(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildTestCluster(t *testing.T) (*Network, []string) {
+	t.Helper()
+	n := NewNetwork()
+	cores, err := BuildCluster(n, ClusterSpec{
+		DC: "dc1", Region: "ra", Clusters: 3, RacksPerCluster: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, cores
+}
+
+func buildTestFabric(t *testing.T) (*Network, []string) {
+	t.Helper()
+	n := NewNetwork()
+	cores, err := BuildFabric(n, FabricSpec{
+		DC: "dc2", Region: "rb", Pods: 3, RacksPerPod: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, cores
+}
+
+func TestBuildClusterShape(t *testing.T) {
+	n, cores := buildTestCluster(t)
+	pop := n.Population()
+	if pop[Core] != 8 || len(cores) != 8 {
+		t.Errorf("Cores = %d", pop[Core])
+	}
+	if pop[CSA] != 2 {
+		t.Errorf("CSAs = %d", pop[CSA])
+	}
+	if pop[CSW] != 12 { // 3 clusters x 4 CSWs
+		t.Errorf("CSWs = %d", pop[CSW])
+	}
+	if pop[RSW] != 24 {
+		t.Errorf("RSWs = %d", pop[RSW])
+	}
+	// Every RSW connects to exactly its cluster's 4 CSWs.
+	for _, rsw := range n.DevicesOfType(RSW) {
+		if n.Degree(rsw.Name) != 4 {
+			t.Errorf("RSW %s degree = %d, want 4", rsw.Name, n.Degree(rsw.Name))
+		}
+		for _, nb := range n.Neighbors(rsw.Name) {
+			d := n.Device(nb)
+			if d.Type != CSW || d.Unit != rsw.Unit {
+				t.Errorf("RSW %s linked to %s (type %v unit %s)", rsw.Name, nb, d.Type, d.Unit)
+			}
+		}
+	}
+}
+
+func TestBuildFabricShape(t *testing.T) {
+	n, cores := buildTestFabric(t)
+	pop := n.Population()
+	if pop[Core] != 8 || len(cores) != 8 {
+		t.Errorf("Cores = %d", pop[Core])
+	}
+	if pop[ESW] != 4 || pop[SSW] != 16 || pop[FSW] != 12 || pop[RSW] != 24 {
+		t.Errorf("population = %v", pop)
+	}
+	// 1:4 RSW:FSW connectivity.
+	for _, rsw := range n.DevicesOfType(RSW) {
+		if n.Degree(rsw.Name) != 4 {
+			t.Errorf("RSW %s degree = %d", rsw.Name, n.Degree(rsw.Name))
+		}
+	}
+}
+
+func TestBuildSpecValidation(t *testing.T) {
+	if _, err := BuildCluster(NewNetwork(), ClusterSpec{}); err == nil {
+		t.Error("empty cluster spec accepted")
+	}
+	if _, err := BuildFabric(NewNetwork(), FabricSpec{}); err == nil {
+		t.Error("empty fabric spec accepted")
+	}
+}
+
+func TestReachability(t *testing.T) {
+	n, cores := buildTestCluster(t)
+	rsw := n.DevicesOfType(RSW)[0].Name
+	if !n.Reachable(rsw, cores[0], nil) {
+		t.Fatal("RSW cannot reach Core in healthy network")
+	}
+	// Kill all 4 CSWs of the RSW's cluster: it loses Core connectivity.
+	down := map[string]bool{}
+	for _, nb := range n.Neighbors(rsw) {
+		down[nb] = true
+	}
+	if n.Reachable(rsw, cores[0], down) {
+		t.Error("RSW still reaches Core with all its CSWs down")
+	}
+	// One CSW down: still reachable (redundancy masks it).
+	down2 := map[string]bool{n.Neighbors(rsw)[0]: true}
+	if !n.Reachable(rsw, cores[0], down2) {
+		t.Error("single CSW failure must be masked by redundancy")
+	}
+}
+
+func TestReachableEdgeCases(t *testing.T) {
+	n, _ := buildTestCluster(t)
+	rsw := n.DevicesOfType(RSW)[0].Name
+	if !n.Reachable(rsw, rsw, nil) {
+		t.Error("device must reach itself")
+	}
+	if n.Reachable(rsw, rsw, map[string]bool{rsw: true}) {
+		t.Error("down device reaches itself")
+	}
+	if n.Reachable("ghost", rsw, nil) {
+		t.Error("unknown src reachable")
+	}
+	if n.ReachableSet("ghost", nil) != nil {
+		t.Error("ReachableSet of unknown device not nil")
+	}
+}
+
+func TestDisjointPaths(t *testing.T) {
+	n, cores := buildTestCluster(t)
+	rsw := n.DevicesOfType(RSW)[0].Name
+	// RSW has 4 CSWs, but every path must then cross one of only 2 CSAs:
+	// the CSA layer bottlenecks node-disjoint paths at 2.
+	if got := n.DisjointPaths(rsw, cores[0]); got != 2 {
+		t.Errorf("DisjointPaths(rsw, core) = %d, want 2", got)
+	}
+	if got := n.DisjointPaths(rsw, rsw); got != 0 {
+		t.Errorf("DisjointPaths(x, x) = %d, want 0", got)
+	}
+}
+
+func TestDisjointPathsDirectLink(t *testing.T) {
+	n := NewNetwork()
+	mustAdd(t, n, Device{Name: "core001", Type: Core})
+	mustAdd(t, n, Device{Name: "core002", Type: Core})
+	if err := n.AddLink("core001", "core002"); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.DisjointPaths("core001", "core002"); got != 1 {
+		t.Errorf("directly linked DisjointPaths = %d, want 1", got)
+	}
+}
+
+func TestStrandedRacks(t *testing.T) {
+	n, _ := buildTestCluster(t)
+	if got := n.StrandedRacks(nil); len(got) != 0 {
+		t.Errorf("healthy network has stranded racks: %v", got)
+	}
+	// Take down both CSAs: every rack loses Core connectivity.
+	down := map[string]bool{}
+	for _, csa := range n.DevicesOfType(CSA) {
+		down[csa.Name] = true
+	}
+	if got := n.StrandedRacks(down); len(got) != 24 {
+		t.Errorf("stranded = %d, want all 24", len(got))
+	}
+	// One CSA down: nothing stranded (path diversity).
+	down1 := map[string]bool{n.DevicesOfType(CSA)[0].Name: true}
+	if got := n.StrandedRacks(down1); len(got) != 0 {
+		t.Errorf("single CSA failure stranded %d racks", len(got))
+	}
+}
+
+func TestDownstreamRacksOrdering(t *testing.T) {
+	// §5.4: higher-bisection devices affect more downstream racks.
+	n, _ := buildTestCluster(t)
+	core := n.DevicesOfType(Core)[0].Name
+	csa := n.DevicesOfType(CSA)[0].Name
+	csw := n.DevicesOfType(CSW)[0].Name
+	rsw := n.DevicesOfType(RSW)[0].Name
+	dCore, dCSA, dCSW, dRSW := n.DownstreamRacks(core), n.DownstreamRacks(csa), n.DownstreamRacks(csw), n.DownstreamRacks(rsw)
+	if dRSW != 1 {
+		t.Errorf("RSW downstream = %d, want 1", dRSW)
+	}
+	if !(dCore >= dCSA && dCSA > dCSW && dCSW > dRSW) {
+		t.Errorf("downstream ordering violated: core=%d csa=%d csw=%d rsw=%d", dCore, dCSA, dCSW, dRSW)
+	}
+	if dCSW != 8 { // a CSW serves its cluster's 8 racks
+		t.Errorf("CSW downstream = %d, want 8", dCSW)
+	}
+	if n.DownstreamRacks("ghost") != 0 {
+		t.Error("unknown device downstream != 0")
+	}
+}
+
+func TestInterconnectCores(t *testing.T) {
+	n := NewNetwork()
+	c1, err := BuildCluster(n, ClusterSpec{DC: "dc1", Region: "ra", Clusters: 1, RacksPerCluster: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := BuildFabric(n, FabricSpec{DC: "dc2", Region: "ra", Pods: 1, RacksPerPod: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InterconnectCores(n, c1, c2); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-DC reachability: an RSW in dc1 reaches a core in dc2.
+	var rswDC1 string
+	for _, d := range n.DevicesOfType(RSW) {
+		if d.DC == "dc1" {
+			rswDC1 = d.Name
+			break
+		}
+	}
+	if !n.Reachable(rswDC1, c2[0], nil) {
+		t.Error("cross-DC path missing after InterconnectCores")
+	}
+}
+
+func TestDevicesInsertionOrderDeterministic(t *testing.T) {
+	n1, _ := buildTestFabric(t)
+	n2, _ := buildTestFabric(t)
+	d1, d2 := n1.Devices(), n2.Devices()
+	if len(d1) != len(d2) {
+		t.Fatal("different device counts")
+	}
+	for i := range d1 {
+		if d1[i].Name != d2[i].Name {
+			t.Fatalf("device order differs at %d: %s vs %s", i, d1[i].Name, d2[i].Name)
+		}
+	}
+}
+
+func BenchmarkStrandedRacks(b *testing.B) {
+	n := NewNetwork()
+	if _, err := BuildFabric(n, FabricSpec{DC: "dc1", Region: "ra", Pods: 16, RacksPerPod: 48}); err != nil {
+		b.Fatal(err)
+	}
+	down := map[string]bool{n.DevicesOfType(FSW)[0].Name: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.StrandedRacks(down)
+	}
+}

@@ -1,0 +1,269 @@
+package dcnr
+
+// End-to-end shape assertions through the public API: the headline claims
+// of the paper that DESIGN.md commits to reproducing, checked on datasets
+// generated and analyzed exclusively via the dcnr facade. Finer-grained
+// shape checks live next to the analysis code in internal/core.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dcnr/internal/service"
+	"dcnr/internal/topology"
+)
+
+var (
+	shapeOnce  sync.Once
+	shapeIntra *IntraResult
+	shapeInter *BackboneResult
+	shapeErr   error
+)
+
+func shapeData(t *testing.T) (*IntraResult, *BackboneResult) {
+	t.Helper()
+	shapeOnce.Do(func() {
+		shapeIntra, shapeErr = SimulateIntraDC(IntraConfig{Seed: 20181031})
+		if shapeErr != nil {
+			return
+		}
+		cfg := DefaultBackboneConfig()
+		cfg.Seed = 20161001
+		shapeInter, shapeErr = SimulateBackbone(cfg)
+	})
+	if shapeErr != nil {
+		t.Fatal(shapeErr)
+	}
+	return shapeIntra, shapeInter
+}
+
+func TestShapeHeadlines2017(t *testing.T) {
+	intra, _ := shapeData(t)
+	fr := intra.Analysis.IncidentFractions()[2017]
+	// §5.4: Core ≈ 34% and RSW ≈ 28% of 2017 service-level incidents.
+	if math.Abs(fr[Core]-0.34) > 0.08 {
+		t.Errorf("Core 2017 share = %.3f, want ~0.34", fr[Core])
+	}
+	if math.Abs(fr[RSW]-0.28) > 0.08 {
+		t.Errorf("RSW 2017 share = %.3f, want ~0.28", fr[RSW])
+	}
+}
+
+func TestShapeFabricHalvesIncidents(t *testing.T) {
+	intra, _ := shapeData(t)
+	di := intra.Analysis.DesignIncidents(2017)
+	ratio := di[2017][DesignFabric] / di[2017][DesignCluster]
+	if ratio < 0.3 || ratio > 0.75 {
+		t.Errorf("2017 fabric:cluster incidents = %.2f, want ~0.5 (§5.5)", ratio)
+	}
+	mtbiRatio := intra.Analysis.DesignMTBI(2017, DesignFabric) /
+		intra.Analysis.DesignMTBI(2017, DesignCluster)
+	if mtbiRatio < 2.0 || mtbiRatio > 5.0 {
+		t.Errorf("fabric:cluster MTBI = %.2f, want ~3.2 (§5.6)", mtbiRatio)
+	}
+}
+
+func TestShapeBackboneModels(t *testing.T) {
+	_, inter := shapeData(t)
+	mtbf, err := FitCurve(inter.Analysis.EdgeMTBF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 462.88·e^(2.3408p), R²=0.94.
+	if mtbf.B < 1.6 || mtbf.B > 3.2 {
+		t.Errorf("edge MTBF B = %.2f, want ~2.34", mtbf.B)
+	}
+	if mtbf.R2 < 0.8 {
+		t.Errorf("edge MTBF R² = %.2f", mtbf.R2)
+	}
+	mttr, err := FitCurve(inter.Analysis.EdgeMTTR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 1.513·e^(4.256p), R²=0.87.
+	if mttr.B < 2.5 || mttr.B > 6.0 {
+		t.Errorf("edge MTTR B = %.2f, want ~4.26", mttr.B)
+	}
+}
+
+func TestShapeAnalysisReadsDataNotCalibration(t *testing.T) {
+	// The DESIGN.md seam check: corrupt the generated dataset and confirm
+	// the analysis result moves with the data. If the analysis secretly
+	// echoed the generator's calibration tables, deleting every 2017 Core
+	// SEV would change nothing.
+	intra, _ := shapeData(t)
+	pruned := NewSEVStore()
+	for _, r := range intra.Store.All() {
+		dt, err := r.DeviceType()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Year == 2017 && dt == Core {
+			continue
+		}
+		r.ID = 0 // let the store reassign
+		if _, err := pruned.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := NewIntraAnalysis(pruned, intra.Fleet)
+	if got := a.IncidentFractions()[2017][Core]; got != 0 {
+		t.Errorf("Core share after pruning = %.3f, want 0 — analysis not data-driven", got)
+	}
+	if got := a.MTBI(2017)[Core]; got != 0 {
+		t.Errorf("Core MTBI after pruning = %v, want omitted", got)
+	}
+	// Other types' fractions rescale to the smaller total.
+	fr := a.IncidentFractions()[2017]
+	sum := 0.0
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pruned fractions sum to %v", sum)
+	}
+}
+
+func TestShapeSeverityMixDominatedBySev3(t *testing.T) {
+	intra, _ := shapeData(t)
+	br := intra.Analysis.SeverityBreakdown(2017)
+	if br[Sev3].Share < br[Sev2].Share || br[Sev2].Share < br[Sev1].Share {
+		t.Errorf("severity ordering violated: SEV3 %.2f SEV2 %.2f SEV1 %.2f",
+			br[Sev3].Share, br[Sev2].Share, br[Sev1].Share)
+	}
+}
+
+func TestShapeContinentOrdering(t *testing.T) {
+	_, inter := shapeData(t)
+	rows := inter.Analysis.ByContinent()
+	if rows[Africa].MTBF <= rows[SouthAmerica].MTBF {
+		t.Errorf("Africa MTBF %.0f not above South America %.0f (Table 4)",
+			rows[Africa].MTBF, rows[SouthAmerica].MTBF)
+	}
+	if rows[Australia].MTTR >= rows[Africa].MTTR {
+		t.Errorf("Australia MTTR %.1f not below Africa %.1f (Table 4)",
+			rows[Australia].MTTR, rows[Africa].MTTR)
+	}
+}
+
+// newBenchTopology and assessAllScopes back BenchmarkAblationRedundancy.
+
+func newBenchTopology() (*topology.Network, error) {
+	n := topology.NewNetwork()
+	c1, err := topology.BuildCluster(n, topology.ClusterSpec{DC: "dc1", Region: "ra", Clusters: 4, RacksPerCluster: 16})
+	if err != nil {
+		return nil, err
+	}
+	c2, err := topology.BuildFabric(n, topology.FabricSpec{DC: "dc2", Region: "rb", Pods: 4, RacksPerPod: 16})
+	if err != nil {
+		return nil, err
+	}
+	if err := topology.InterconnectCores(n, c1, c2); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func assessAllScopes(net *topology.Network) error {
+	assessor := service.NewAssessor(net)
+	for _, dt := range IntraDCTypes {
+		devices := net.DevicesOfType(dt)
+		if len(devices) == 0 {
+			continue
+		}
+		for _, scope := range []service.Scope{service.ScopeDevice, service.ScopeGroup, service.ScopeUnit} {
+			if _, err := assessor.Assess(devices[0].Name, scope); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func TestAssessAllScopes(t *testing.T) {
+	net, err := newBenchTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := assessAllScopes(net); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClaimsRobustAcrossSeeds re-grades the headline claims on several
+// fresh seeds: the reproduction must not hinge on one lucky draw. A small
+// number of single-claim misses is tolerated (Poisson noise on ~190-event
+// years; R² seed variance), but the overwhelming majority must hold.
+func TestClaimsRobustAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	totalClaims, totalPass := 0, 0
+	for seed := uint64(1); seed <= 5; seed++ {
+		intra, err := SimulateIntraDC(IntraConfig{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultBackboneConfig()
+		cfg.Seed = seed
+		inter, err := SimulateBackbone(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := intra.Analysis.VerifyIntraClaims()
+		results = append(results, inter.Analysis.VerifyInterClaims()...)
+		for _, r := range results {
+			totalClaims++
+			if r.Pass {
+				totalPass++
+			} else {
+				t.Logf("seed %d: claim %s missed (%s)", seed, r.ID, r.Detail)
+			}
+		}
+	}
+	if rate := float64(totalPass) / float64(totalClaims); rate < 0.9 {
+		t.Errorf("claims pass rate across seeds = %.2f (%d/%d), want ≥ 0.90",
+			rate, totalPass, totalClaims)
+	}
+}
+
+// TestPaperScaleDataset checks the scale knob: scale 5 produces the
+// "thousands of incidents" volume of the paper without moving per-device
+// rates.
+func TestPaperScaleDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-5 simulation")
+	}
+	res, err := SimulateIntraDC(IntraConfig{Seed: 2, Scale: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Store.Len() < 2500 {
+		t.Errorf("scale-5 dataset has %d SEVs, want thousands", res.Store.Len())
+	}
+	// Per-device incident rates are scale-invariant.
+	unit, err := SimulateIntraDC(IntraConfig{Seed: 2, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5 := res.Analysis.IncidentRate(2017)[Core]
+	r1 := unit.Analysis.IncidentRate(2017)[Core]
+	if r5 <= 0 || r1 <= 0 {
+		t.Fatal("missing rates")
+	}
+	if ratio := r5 / r1; ratio < 0.6 || ratio > 1.6 {
+		t.Errorf("Core rate moved with scale: %.3f vs %.3f", r5, r1)
+	}
+	// And the claims still hold at scale.
+	failed := 0
+	for _, r := range res.Analysis.VerifyIntraClaims() {
+		if !r.Pass {
+			failed++
+			t.Logf("scale-5 claim missed: %s (%s)", r.ID, r.Detail)
+		}
+	}
+	if failed > 2 {
+		t.Errorf("%d claims failed at scale 5", failed)
+	}
+}
