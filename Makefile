@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench bench-sevquery
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector — the new SEV store
+# indexes must stay consistent under concurrent Add + Query.
+race:
+	$(GO) test -race ./...
+
+# verify is the tier-1 gate: vet plus the race-enabled test suite.
+verify: vet race
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 200ms .
+
+# bench-sevquery snapshots the per-figure and query-engine benchmarks into
+# BENCH_sevquery.json so speedups/regressions are diffable across PRs.
+bench-sevquery:
+	./scripts/bench_sevquery.sh

@@ -92,8 +92,15 @@ var RootCauses = sev.RootCauses
 // SEVReport is one service-level event report (§4.2).
 type SEVReport = sev.Report
 
-// SEVStore holds SEV reports and answers aggregate queries.
+// SEVStore holds SEV reports and answers aggregate queries through an
+// indexed query engine (posting lists per year, device type, severity,
+// design, and root cause).
 type SEVStore = sev.Store
+
+// SEVQuery is a filtered, index-accelerated view over a SEVStore's
+// reports; obtain one with SEVStore.Query and narrow it with the With*
+// methods.
+type SEVQuery = sev.Query
 
 // NewSEVStore returns an empty SEV store.
 func NewSEVStore() *SEVStore { return sev.NewStore() }

@@ -347,6 +347,79 @@ func BenchmarkSimulateBackbone(b *testing.B) {
 	}
 }
 
+// SEV query-engine benches: the indexed store paths the per-figure
+// analyses ride on (point lookups, posting-list intersections, one-pass
+// grouped aggregations).
+
+func BenchmarkSevQueryIndexedCount(b *testing.B) {
+	intra, _ := benchData(b)
+	store := intra.Store
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if store.Query().Year(2017).Severity(Sev3).Count() < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkSevQueryGroupedCounts(b *testing.B) {
+	intra, _ := benchData(b)
+	store := intra.Store
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(store.Query().CountByYearDeviceType()) == 0 {
+			b.Fatal("empty")
+		}
+		if len(store.Query().CountByYearSeverity()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkReproFanOut measures the all-experiments fan-out speedup the
+// repro runner exposes: the same 21 analysis regenerations serial vs on a
+// bounded pool.
+func BenchmarkReproFanOut(b *testing.B) {
+	intra, inter := benchData(b)
+	tasks := []func() error{
+		func() error { intra.Analysis.RootCauseDistribution(); return nil },
+		func() error { intra.Analysis.RootCauseByDevice(); return nil },
+		func() error { intra.Analysis.SeverityBreakdown(2017); return nil },
+		func() error { intra.Analysis.SevRatePerDevice(); return nil },
+		func() error { intra.Analysis.IncidentFractions(); return nil },
+		func() error { intra.Analysis.NormalizedIncidents(2017); return nil },
+		func() error { intra.Analysis.DesignIncidents(2017); return nil },
+		func() error { intra.Analysis.DesignRate(); return nil },
+		func() error { intra.Analysis.PopulationBreakdown(); return nil },
+		func() error { intra.Analysis.IRTvsScale(); return nil },
+		func() error {
+			for y := FirstYear; y <= LastYear; y++ {
+				intra.Analysis.MTBI(y)
+				intra.Analysis.P75IRT(y)
+				intra.Analysis.IncidentRate(y)
+			}
+			return nil
+		},
+		func() error { _, err := FitCurve(inter.Analysis.EdgeMTBF()); return err },
+		func() error { _, err := FitCurve(inter.Analysis.EdgeMTTR()); return err },
+		func() error { _, err := FitCurve(inter.Analysis.VendorMTTR()); return err },
+		func() error { inter.Analysis.ByContinent(); return nil },
+	}
+	for _, workers := range []int{1, 4} {
+		name := "serial"
+		if workers > 1 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := RunLimit(workers, len(tasks), func(j int) error { return tasks[j]() }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Operational benches: the mechanisms behind §3.1, §5.1, §5.2, and §5.7.
 
 func BenchmarkCongestionAfterFailure(b *testing.B) {

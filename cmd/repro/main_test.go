@@ -24,7 +24,7 @@ func TestRunSingleExperiments(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "fig99", 1, 1); err == nil {
+	if err := run(&b, "fig99", 1, 1, 1); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -50,14 +50,19 @@ func TestRunAllAndVerify(t *testing.T) {
 		t.Skip("full experiment sweep")
 	}
 	var b strings.Builder
-	if err := run(&b, "", 20181031, 1); err != nil {
+	if err := run(&b, "", 20181031, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
-	for _, want := range []string{"Table 1", "Table 4", "Figure 15", "Figure 18", "Ablation", "WAN"} {
+	for _, want := range []string{"Table 1", "Table 4", "Figure 15", "Figure 18", "Ablation", "WAN", "Per-analysis wall time", "speedup"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("all-experiments output missing %q", want)
 		}
+	}
+	// The fan-out must not perturb output order: experiments appear in
+	// paper order regardless of which worker finished first.
+	if strings.Index(out, "Table 1") > strings.Index(out, "Figure 15") {
+		t.Error("parallel run reordered experiment output")
 	}
 	b.Reset()
 	ok, err := runVerify(&b, 20181031, 1)

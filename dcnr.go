@@ -161,6 +161,17 @@ func SimulateBackbone(cfg BackboneConfig) (*BackboneResult, error) {
 	}, nil
 }
 
+// RunLimit runs n independent analysis tasks across a bounded pool of at
+// most workers goroutines and waits for all of them (workers <= 0 means one
+// per CPU). Every task runs even when an earlier one fails; the returned
+// error is the failing task with the lowest index, so the outcome is
+// deterministic under concurrency. cmd/repro uses it to regenerate all
+// tables and figures in parallel; it fits any fan-out whose tasks are
+// independent, such as sweeping seeds or scales.
+func RunLimit(workers, n int, task func(i int) error) error {
+	return core.RunLimit(workers, n, task)
+}
+
 // RemediationSupported reports whether automated remediation covers the
 // device type (§4.1.2: RSWs, FSWs, and some Core devices).
 func RemediationSupported(t DeviceType) bool { return remediation.Supported(t) }

@@ -102,21 +102,27 @@ type SeverityShare struct {
 // SeverityBreakdown returns Figure 4 for one year.
 func (a *IntraAnalysis) SeverityBreakdown(year int) map[sev.Severity]SeverityShare {
 	out := make(map[sev.Severity]SeverityShare, len(sev.Severities))
-	total := a.Store.Query().Year(year).Count()
+	bySevType := a.Store.Query().Year(year).CountBySeverityDeviceType()
+	total := 0
+	for _, byType := range bySevType {
+		for _, c := range byType {
+			total += c
+		}
+	}
 	if total == 0 {
 		return out
 	}
 	for _, s := range sev.Severities {
-		q := a.Store.Query().Year(year).Severity(s)
-		n := q.Count()
+		n := 0
+		for _, c := range bySevType[s] {
+			n += c
+		}
 		share := SeverityShare{
 			Share:    float64(n) / float64(total),
 			ByDevice: make(map[topology.DeviceType]float64),
 		}
-		if n > 0 {
-			for t, c := range q.CountByDeviceType() {
-				share.ByDevice[t] = float64(c) / float64(n)
-			}
+		for t, c := range bySevType[s] {
+			share.ByDevice[t] = float64(c) / float64(n)
 		}
 		out[s] = share
 	}
@@ -127,13 +133,14 @@ func (a *IntraAnalysis) SeverityBreakdown(year int) map[sev.Severity]SeveritySha
 // deployed network device.
 func (a *IntraAnalysis) SevRatePerDevice() map[int]map[sev.Severity]float64 {
 	out := make(map[int]map[sev.Severity]float64)
+	byYearSev := a.Store.Query().CountByYearSeverity()
 	for _, year := range a.Fleet.Years() {
 		pop := a.Fleet.TotalPopulation(year)
 		if pop == 0 {
 			continue
 		}
 		row := make(map[sev.Severity]float64, len(sev.Severities))
-		for s, n := range a.Store.Query().Year(year).CountBySeverity() {
+		for s, n := range byYearSev[year] {
 			row[s] = float64(n) / float64(pop)
 		}
 		out[year] = row
@@ -159,12 +166,16 @@ func (a *IntraAnalysis) SwitchesVsEmployees() []stats.Point {
 // fraction of that year's incidents.
 func (a *IntraAnalysis) IncidentFractions() map[int]map[topology.DeviceType]float64 {
 	out := make(map[int]map[topology.DeviceType]float64)
-	for year, total := range a.Store.Query().CountByYear() {
+	for year, byType := range a.Store.Query().CountByYearDeviceType() {
+		total := 0
+		for _, n := range byType {
+			total += n
+		}
 		if total == 0 {
 			continue
 		}
-		row := make(map[topology.DeviceType]float64)
-		for t, n := range a.Store.Query().Year(year).CountByDeviceType() {
+		row := make(map[topology.DeviceType]float64, len(byType))
+		for t, n := range byType {
 			row[t] = float64(n) / float64(total)
 		}
 		out[year] = row
@@ -181,9 +192,9 @@ func (a *IntraAnalysis) NormalizedIncidents(baselineYear int) map[int]map[topolo
 	if baseline == 0 {
 		return out
 	}
-	for year := range a.Store.Query().CountByYear() {
-		row := make(map[topology.DeviceType]float64)
-		for t, n := range a.Store.Query().Year(year).CountByDeviceType() {
+	for year, byType := range a.Store.Query().CountByYearDeviceType() {
+		row := make(map[topology.DeviceType]float64, len(byType))
+		for t, n := range byType {
 			row[t] = float64(n) / float64(baseline)
 		}
 		out[year] = row
@@ -200,11 +211,10 @@ func (a *IntraAnalysis) DesignIncidents(baselineYear int) map[int]map[topology.D
 	if baseline == 0 {
 		return out
 	}
-	for year := range a.Store.Query().CountByYear() {
+	for year, byDesign := range a.Store.Query().CountByYearDesign() {
 		row := make(map[topology.Design]float64)
 		for _, d := range []topology.Design{topology.DesignCluster, topology.DesignFabric} {
-			n := a.Store.Query().Year(year).Design(d).Count()
-			row[d] = float64(n) / float64(baseline)
+			row[d] = float64(byDesign[d]) / float64(baseline)
 		}
 		out[year] = row
 	}
@@ -215,6 +225,7 @@ func (a *IntraAnalysis) DesignIncidents(baselineYear int) map[int]map[topology.D
 // network design.
 func (a *IntraAnalysis) DesignRate() map[int]map[topology.Design]float64 {
 	out := make(map[int]map[topology.Design]float64)
+	byYearDesign := a.Store.Query().CountByYearDesign()
 	for _, year := range a.Fleet.Years() {
 		row := make(map[topology.Design]float64)
 		for _, d := range []topology.Design{topology.DesignCluster, topology.DesignFabric} {
@@ -222,8 +233,7 @@ func (a *IntraAnalysis) DesignRate() map[int]map[topology.Design]float64 {
 			if pop == 0 {
 				continue
 			}
-			n := a.Store.Query().Year(year).Design(d).Count()
-			row[d] = float64(n) / float64(pop)
+			row[d] = float64(byYearDesign[year][d]) / float64(pop)
 		}
 		out[year] = row
 	}
@@ -270,13 +280,14 @@ func (a *IntraAnalysis) MTBI(year int) map[topology.DeviceType]float64 {
 // DesignMTBI returns §5.6's design comparison for one year: the average
 // MTBI across a design's device types, in device-hours.
 func (a *IntraAnalysis) DesignMTBI(year int, d topology.Design) float64 {
+	counts := a.Store.Query().Year(year).CountByDeviceType()
 	hours, incidents := 0.0, 0
 	for _, t := range topology.IntraDCTypes {
 		if t.Design() != d {
 			continue
 		}
 		hours += a.Fleet.DeviceHours(year, t)
-		incidents += a.Store.Query().Year(year).DeviceType(t).Count()
+		incidents += counts[t]
 	}
 	if incidents == 0 {
 		return 0
@@ -289,8 +300,9 @@ func (a *IntraAnalysis) DesignMTBI(year int, d topology.Design) float64 {
 // omitted.
 func (a *IntraAnalysis) P75IRT(year int) map[topology.DeviceType]float64 {
 	out := make(map[topology.DeviceType]float64)
+	byType := a.Store.Query().Year(year).ResolutionsByDeviceType()
 	for _, t := range topology.IntraDCTypes {
-		res := a.Store.Query().Year(year).DeviceType(t).Resolutions()
+		res := byType[t]
 		if len(res) == 0 {
 			continue
 		}
@@ -307,8 +319,7 @@ func (a *IntraAnalysis) P75IRT(year int) map[topology.DeviceType]float64 {
 // per year.
 func (a *IntraAnalysis) P75IRTOverall() map[int]float64 {
 	out := make(map[int]float64)
-	for year := range a.Store.Query().CountByYear() {
-		res := a.Store.Query().Year(year).Resolutions()
+	for year, res := range a.Store.Query().ResolutionsByYear() {
 		if p, err := stats.Percentile(res, 75); err == nil {
 			out[year] = p
 		}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunLimit runs n independent tasks across a bounded pool of at most
+// workers goroutines and waits for all of them. Tasks are claimed in index
+// order from a shared counter, so the pool stays busy regardless of how
+// task durations vary. workers <= 0 means one worker per CPU.
+//
+// Every task runs even when an earlier one fails; the returned error is
+// the failing task with the lowest index, which keeps the outcome
+// deterministic under concurrency.
+func RunLimit(workers, n int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunLimitRunsEveryTask(t *testing.T) {
+	const n = 100
+	done := make([]int32, n)
+	if err := RunLimit(4, n, func(i int) error {
+		atomic.AddInt32(&done[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range done {
+		if c != 1 {
+			t.Errorf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestRunLimitBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 64
+	var cur, peak int32
+	var mu sync.Mutex
+	err := RunLimit(workers, n, func(int) error {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		defer atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Errorf("observed %d concurrent tasks, limit %d", peak, workers)
+	}
+}
+
+// The returned error is the failing task with the lowest index, and later
+// tasks still run — deterministic outcome, full coverage.
+func TestRunLimitFirstErrorByIndex(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	var ran int32
+	err := RunLimit(8, 20, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		switch i {
+		case 13:
+			return errB
+		case 5:
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Errorf("err = %v, want task 5's error", err)
+	}
+	if ran != 20 {
+		t.Errorf("%d tasks ran, want all 20", ran)
+	}
+}
+
+func TestRunLimitEdgeCases(t *testing.T) {
+	if err := RunLimit(4, 0, func(int) error { t.Error("task ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// workers <= 0 defaults to NumCPU; workers > n is clamped.
+	var ran int32
+	if err := RunLimit(0, 3, func(int) error { atomic.AddInt32(&ran, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Errorf("ran = %d, want 3", ran)
+	}
+	ran = 0
+	if err := RunLimit(100, 2, func(int) error { atomic.AddInt32(&ran, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2", ran)
+	}
+}

@@ -12,14 +12,77 @@ import (
 
 // Store holds SEV reports and answers the aggregate queries the study runs
 // against its SEV database. It is safe for concurrent use.
+//
+// Alongside the report slice the store maintains secondary indexes —
+// posting lists of report positions keyed by year, device type, severity,
+// network design, and root cause, plus an ID map — so the typed query API
+// (query.go) can intersect the smallest applicable lists instead of
+// scanning every report. Indexes are updated under the write lock on Add
+// and rebuilt wholesale on ReadJSON.
 type Store struct {
 	mu      sync.RWMutex
 	reports []Report
 	nextID  int
+
+	// byID maps report ID → position in reports.
+	byID map[int]int
+	// types caches the parsed device type per position so queries never
+	// re-parse device names.
+	types []topology.DeviceType
+	// Posting lists: positions in ascending order, one list per key value.
+	byYear   map[int][]int
+	byType   map[topology.DeviceType][]int
+	bySev    map[Severity][]int
+	byDesign map[topology.Design][]int
+	byCause  map[RootCause][]int
 }
 
 // NewStore returns an empty Store.
-func NewStore() *Store { return &Store{nextID: 1} }
+func NewStore() *Store {
+	s := &Store{nextID: 1}
+	s.resetIndexLocked(0)
+	return s
+}
+
+// resetIndexLocked reinitializes every secondary index. Caller holds mu.
+func (s *Store) resetIndexLocked(capacity int) {
+	s.byID = make(map[int]int, capacity)
+	s.types = make([]topology.DeviceType, 0, capacity)
+	s.byYear = make(map[int][]int)
+	s.byType = make(map[topology.DeviceType][]int)
+	s.bySev = make(map[Severity][]int)
+	s.byDesign = make(map[topology.Design][]int)
+	s.byCause = make(map[RootCause][]int)
+}
+
+// indexLocked appends index entries for the report at position pos. The
+// report must already be validated (its device name parses). Caller holds
+// mu.
+func (s *Store) indexLocked(pos int) {
+	r := &s.reports[pos]
+	t, err := topology.ParseDeviceName(r.Device)
+	if err != nil {
+		// Unreachable for validated reports; keep types aligned anyway.
+		t = topology.DeviceType(-1)
+	}
+	s.types = append(s.types, t)
+	s.byID[r.ID] = pos
+	s.byYear[r.Year] = append(s.byYear[r.Year], pos)
+	s.bySev[r.Severity] = append(s.bySev[r.Severity], pos)
+	if t >= 0 {
+		s.byType[t] = append(s.byType[t], pos)
+		s.byDesign[t.Design()] = append(s.byDesign[t.Design()], pos)
+	}
+	// A report may list the same cause twice; the posting list stays
+	// deduplicated so RootCause(c).Count() counts the report once (the
+	// multi-counting of CountByRootCause happens over EffectiveRootCauses).
+	for _, c := range r.EffectiveRootCauses() {
+		if list := s.byCause[c]; len(list) > 0 && list[len(list)-1] == pos {
+			continue
+		}
+		s.byCause[c] = append(s.byCause[c], pos)
+	}
+}
 
 // Add validates r, assigns it an ID, and appends it. It returns the
 // assigned ID.
@@ -32,6 +95,7 @@ func (s *Store) Add(r Report) (int, error) {
 	r.ID = s.nextID
 	s.nextID++
 	s.reports = append(s.reports, r)
+	s.indexLocked(len(s.reports) - 1)
 	return r.ID, nil
 }
 
@@ -46,9 +110,8 @@ func (s *Store) Len() int {
 func (s *Store) Get(id int) (Report, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	i := sort.Search(len(s.reports), func(i int) bool { return s.reports[i].ID >= id })
-	if i < len(s.reports) && s.reports[i].ID == id {
-		return s.reports[i], nil
+	if pos, ok := s.byID[id]; ok {
+		return s.reports[pos], nil
 	}
 	return Report{}, fmt.Errorf("sev: no report with ID %d", id)
 }
@@ -69,189 +132,36 @@ func (s *Store) WriteJSON(w io.Writer) error {
 }
 
 // ReadJSON replaces the store's contents with the reports decoded from r.
-// Each report is re-validated; IDs are preserved.
+// Each report is re-validated; IDs are preserved. Reports are sorted into
+// ascending ID order regardless of their order in the input, and datasets
+// containing duplicate IDs are rejected.
 func (s *Store) ReadJSON(r io.Reader) error {
 	var reports []Report
 	if err := json.NewDecoder(r).Decode(&reports); err != nil {
 		return fmt.Errorf("sev: decoding dataset: %w", err)
 	}
 	maxID := 0
+	seen := make(map[int]bool, len(reports))
 	for i := range reports {
 		if err := reports[i].Validate(); err != nil {
 			return fmt.Errorf("sev: report %d invalid: %w", reports[i].ID, err)
 		}
+		if seen[reports[i].ID] {
+			return fmt.Errorf("sev: duplicate report ID %d in dataset", reports[i].ID)
+		}
+		seen[reports[i].ID] = true
 		if reports[i].ID > maxID {
 			maxID = reports[i].ID
 		}
 	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.reports = reports
 	s.nextID = maxID + 1
+	s.resetIndexLocked(len(reports))
+	for pos := range s.reports {
+		s.indexLocked(pos)
+	}
 	return nil
-}
-
-// Query is a filtered view over a Store's reports. The zero Query matches
-// everything; With* methods narrow it. Queries are values: narrowing
-// returns a new Query and never mutates the receiver.
-type Query struct {
-	store        *Store
-	year         *int
-	deviceType   *topology.DeviceType
-	severity     *Severity
-	design       *topology.Design
-	rootCause    *RootCause
-	since, until *float64
-}
-
-// Query starts a query over all reports in the store.
-func (s *Store) Query() Query { return Query{store: s} }
-
-// Year narrows to incidents that started in the given calendar year.
-func (q Query) Year(y int) Query { q.year = &y; return q }
-
-// DeviceType narrows to incidents whose offending device has type t.
-func (q Query) DeviceType(t topology.DeviceType) Query { q.deviceType = &t; return q }
-
-// Severity narrows to incidents of the given level.
-func (q Query) Severity(v Severity) Query { q.severity = &v; return q }
-
-// Design narrows to incidents on devices of the given network design.
-func (q Query) Design(d topology.Design) Query { q.design = &d; return q }
-
-// RootCause narrows to incidents that carry the given root-cause category
-// (a multi-cause SEV matches each of its categories, per §5.1's counting
-// rule).
-func (q Query) RootCause(c RootCause) Query { q.rootCause = &c; return q }
-
-// Since narrows to incidents starting at or after t (hours since epoch).
-func (q Query) Since(t float64) Query { q.since = &t; return q }
-
-// Until narrows to incidents starting strictly before t (hours since
-// epoch). Since(a).Until(b) selects the half-open window [a, b).
-func (q Query) Until(t float64) Query { q.until = &t; return q }
-
-func (q Query) matches(r *Report) bool {
-	if q.year != nil && r.Year != *q.year {
-		return false
-	}
-	if q.since != nil && r.Start < *q.since {
-		return false
-	}
-	if q.until != nil && r.Start >= *q.until {
-		return false
-	}
-	if q.severity != nil && r.Severity != *q.severity {
-		return false
-	}
-	if q.deviceType != nil {
-		t, err := r.DeviceType()
-		if err != nil || t != *q.deviceType {
-			return false
-		}
-	}
-	if q.design != nil && r.Design() != *q.design {
-		return false
-	}
-	if q.rootCause != nil {
-		found := false
-		for _, c := range r.EffectiveRootCauses() {
-			if c == *q.rootCause {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return false
-		}
-	}
-	return true
-}
-
-// Reports returns the matching reports in ID order.
-func (q Query) Reports() []Report {
-	q.store.mu.RLock()
-	defer q.store.mu.RUnlock()
-	var out []Report
-	for i := range q.store.reports {
-		if q.matches(&q.store.reports[i]) {
-			out = append(out, q.store.reports[i])
-		}
-	}
-	return out
-}
-
-// Count returns the number of matching reports.
-func (q Query) Count() int {
-	q.store.mu.RLock()
-	defer q.store.mu.RUnlock()
-	n := 0
-	for i := range q.store.reports {
-		if q.matches(&q.store.reports[i]) {
-			n++
-		}
-	}
-	return n
-}
-
-// CountByDeviceType groups matching reports by offending device type.
-func (q Query) CountByDeviceType() map[topology.DeviceType]int {
-	out := make(map[topology.DeviceType]int)
-	for _, r := range q.Reports() {
-		if t, err := r.DeviceType(); err == nil {
-			out[t]++
-		}
-	}
-	return out
-}
-
-// CountBySeverity groups matching reports by severity level.
-func (q Query) CountBySeverity() map[Severity]int {
-	out := make(map[Severity]int)
-	for _, r := range q.Reports() {
-		out[r.Severity]++
-	}
-	return out
-}
-
-// CountByYear groups matching reports by start year.
-func (q Query) CountByYear() map[int]int {
-	out := make(map[int]int)
-	for _, r := range q.Reports() {
-		out[r.Year]++
-	}
-	return out
-}
-
-// CountByRootCause groups matching reports by root-cause category. A SEV
-// with multiple root causes counts toward each (§5.1); one with none counts
-// as Undetermined.
-func (q Query) CountByRootCause() map[RootCause]int {
-	out := make(map[RootCause]int)
-	for _, r := range q.Reports() {
-		for _, c := range r.EffectiveRootCauses() {
-			out[c]++
-		}
-	}
-	return out
-}
-
-// Resolutions returns the resolution times (hours) of matching reports.
-func (q Query) Resolutions() []float64 {
-	var out []float64
-	for _, r := range q.Reports() {
-		out = append(out, r.Resolution)
-	}
-	return out
-}
-
-// Starts returns the start times (hours since epoch) of matching reports
-// in ascending order.
-func (q Query) Starts() []float64 {
-	var out []float64
-	for _, r := range q.Reports() {
-		out = append(out, r.Start)
-	}
-	sort.Float64s(out)
-	return out
 }

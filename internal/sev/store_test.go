@@ -1,0 +1,342 @@
+package sev
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"dcnr/internal/topology"
+)
+
+// shuffledDataset returns a JSON dataset whose report IDs are present but
+// deliberately out of ascending order.
+func shuffledDataset() string {
+	devices := []string{
+		"rsw001.cl001.dc1.ra",
+		"csa001.dc1.ra",
+		"core001.dc1.ra",
+		"fsw001.pod001.dc2.rb",
+	}
+	ids := []int{7, 2, 9, 4}
+	var sb strings.Builder
+	sb.WriteString("[")
+	for i, id := range ids {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"id":%d,"severity":3,"device":%q,"start":%d,"duration":1,"resolution":2,"year":%d}`,
+			id, devices[i], 100*i, 2011+i)
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+// Regression: Get used to binary-search the report slice by ID, so a
+// dataset loaded in non-ascending ID order made existing IDs unfindable.
+func TestReadJSONShuffledIDsGet(t *testing.T) {
+	s := NewStore()
+	if err := s.ReadJSON(strings.NewReader(shuffledDataset())); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{7, 2, 9, 4} {
+		r, err := s.Get(id)
+		if err != nil {
+			t.Errorf("Get(%d) after shuffled load: %v", id, err)
+			continue
+		}
+		if r.ID != id {
+			t.Errorf("Get(%d) returned report %d", id, r.ID)
+		}
+	}
+	if _, err := s.Get(3); err == nil {
+		t.Error("Get(3) should fail: ID not in dataset")
+	}
+	// All() must come back in ascending ID order regardless of load order.
+	all := s.All()
+	for i := 1; i < len(all); i++ {
+		if all[i].ID < all[i-1].ID {
+			t.Fatalf("All() not in ID order: %d before %d", all[i-1].ID, all[i].ID)
+		}
+	}
+	// nextID continues after the max loaded ID.
+	if id, err := s.Add(Report{Severity: Sev3, Device: "rsw002.cl001.dc1.ra", Duration: 1, Resolution: 2, Year: 2017}); err != nil || id != 10 {
+		t.Errorf("Add after shuffled load: id=%d err=%v, want 10", id, err)
+	}
+}
+
+func TestReadJSONRejectsDuplicateIDs(t *testing.T) {
+	s := NewStore()
+	data := `[
+		{"id":3,"severity":3,"device":"rsw001.cl001.dc1.ra","start":1,"duration":1,"resolution":2,"year":2011},
+		{"id":3,"severity":2,"device":"csa001.dc1.ra","start":2,"duration":1,"resolution":2,"year":2012}
+	]`
+	err := s.ReadJSON(strings.NewReader(data))
+	if err == nil {
+		t.Fatal("dataset with duplicate IDs accepted")
+	}
+	if !strings.Contains(err.Error(), "duplicate report ID 3") {
+		t.Errorf("error %q does not name the duplicate ID", err)
+	}
+	if s.Len() != 0 {
+		t.Error("rejected dataset partially loaded")
+	}
+}
+
+// indexStore builds a store whose reports spread across every indexed
+// dimension: years, device types (and hence designs), severities, and
+// single/multi/empty root-cause sets.
+func indexStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	devices := []string{
+		"rsw001.cl001.dc1.ra",
+		"csa001.dc1.ra",
+		"csw001.cl001.dc1.ra",
+		"fsw001.pod001.dc2.rb",
+		"ssw001.pod001.dc2.rb",
+		"esw001.pod001.dc2.rb",
+		"core001.dc1.ra",
+	}
+	causes := [][]RootCause{
+		{Hardware},
+		{Maintenance, Configuration},
+		nil,
+		{Bug, Bug}, // duplicate cause within one report
+		{Accident, Capacity},
+	}
+	for i := 0; i < 60; i++ {
+		r := Report{
+			Severity:   Severity(i%3 + 1),
+			Device:     devices[i%len(devices)],
+			RootCauses: causes[i%len(causes)],
+			Start:      float64(i * 500),
+			Duration:   1,
+			Resolution: float64(2 + i%7),
+			Year:       2011 + i%7,
+		}
+		if _, err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// scanCount recomputes a query result by brute force over All(), the
+// ground truth the posting-list intersection must agree with.
+func scanCount(s *Store, match func(Report) bool) int {
+	n := 0
+	for _, r := range s.All() {
+		if match(r) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestIndexedQueriesMatchScan(t *testing.T) {
+	s := indexStore(t)
+	typeOf := func(r Report) topology.DeviceType {
+		dt, err := r.DeviceType()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dt
+	}
+	hasCause := func(r Report, c RootCause) bool {
+		for _, rc := range r.EffectiveRootCauses() {
+			if rc == c {
+				return true
+			}
+		}
+		return false
+	}
+	for year := 2011; year <= 2017; year++ {
+		for _, sv := range Severities {
+			got := s.Query().Year(year).Severity(sv).Count()
+			want := scanCount(s, func(r Report) bool { return r.Year == year && r.Severity == sv })
+			if got != want {
+				t.Errorf("Year(%d).Severity(%v).Count() = %d, want %d", year, sv, got, want)
+			}
+		}
+		for _, dt := range topology.IntraDCTypes {
+			got := s.Query().Year(year).DeviceType(dt).Count()
+			want := scanCount(s, func(r Report) bool { return r.Year == year && typeOf(r) == dt })
+			if got != want {
+				t.Errorf("Year(%d).DeviceType(%v).Count() = %d, want %d", year, dt, got, want)
+			}
+		}
+	}
+	for _, c := range RootCauses {
+		got := s.Query().RootCause(c).Count()
+		want := scanCount(s, func(r Report) bool { return hasCause(r, c) })
+		if got != want {
+			t.Errorf("RootCause(%v).Count() = %d, want %d", c, got, want)
+		}
+	}
+	for _, d := range []topology.Design{topology.DesignShared, topology.DesignCluster, topology.DesignFabric} {
+		got := s.Query().Design(d).Severity(Sev2).Count()
+		want := scanCount(s, func(r Report) bool { return r.Design() == d && r.Severity == Sev2 })
+		if got != want {
+			t.Errorf("Design(%v).Severity(2).Count() = %d, want %d", d, got, want)
+		}
+	}
+	// Index narrowing combined with the residual time window.
+	got := s.Query().Year(2013).Since(1000).Until(20000).Count()
+	want := scanCount(s, func(r Report) bool { return r.Year == 2013 && r.Start >= 1000 && r.Start < 20000 })
+	if got != want {
+		t.Errorf("windowed indexed count = %d, want %d", got, want)
+	}
+	// Missing index keys yield empty results, not errors.
+	if n := s.Query().Year(1999).Count(); n != 0 {
+		t.Errorf("Year(1999).Count() = %d, want 0", n)
+	}
+}
+
+// A report listing the same cause twice matches the cause predicate once
+// but multi-counts in CountByRootCause, exactly like the scan semantics.
+func TestDuplicateCauseSemantics(t *testing.T) {
+	s := NewStore()
+	r := Report{Severity: Sev3, Device: "rsw001.cl001.dc1.ra",
+		RootCauses: []RootCause{Bug, Bug}, Duration: 1, Resolution: 2, Year: 2015}
+	if _, err := s.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Query().RootCause(Bug).Count(); n != 1 {
+		t.Errorf("RootCause(Bug).Count() = %d, want 1", n)
+	}
+	if n := s.Query().CountByRootCause()[Bug]; n != 2 {
+		t.Errorf("CountByRootCause()[Bug] = %d, want 2 (per-occurrence)", n)
+	}
+}
+
+func TestGroupedQueriesMatchPerKeyQueries(t *testing.T) {
+	s := indexStore(t)
+	byYearSev := s.Query().CountByYearSeverity()
+	for year := 2011; year <= 2017; year++ {
+		for _, sv := range Severities {
+			if got, want := byYearSev[year][sv], s.Query().Year(year).Severity(sv).Count(); got != want {
+				t.Errorf("CountByYearSeverity[%d][%v] = %d, want %d", year, sv, got, want)
+			}
+		}
+	}
+	byYearType := s.Query().CountByYearDeviceType()
+	for year := 2011; year <= 2017; year++ {
+		for _, dt := range topology.IntraDCTypes {
+			if got, want := byYearType[year][dt], s.Query().Year(year).DeviceType(dt).Count(); got != want {
+				t.Errorf("CountByYearDeviceType[%d][%v] = %d, want %d", year, dt, got, want)
+			}
+		}
+	}
+	byYearDesign := s.Query().CountByYearDesign()
+	for year := 2011; year <= 2017; year++ {
+		for _, d := range []topology.Design{topology.DesignCluster, topology.DesignFabric} {
+			if got, want := byYearDesign[year][d], s.Query().Year(year).Design(d).Count(); got != want {
+				t.Errorf("CountByYearDesign[%d][%v] = %d, want %d", year, d, got, want)
+			}
+		}
+	}
+	bySevType := s.Query().Year(2014).CountBySeverityDeviceType()
+	for _, sv := range Severities {
+		for _, dt := range topology.IntraDCTypes {
+			if got, want := bySevType[sv][dt], s.Query().Year(2014).Severity(sv).DeviceType(dt).Count(); got != want {
+				t.Errorf("CountBySeverityDeviceType[%v][%v] = %d, want %d", sv, dt, got, want)
+			}
+		}
+	}
+	byTypeRes := s.Query().ResolutionsByDeviceType()
+	for _, dt := range topology.IntraDCTypes {
+		if got, want := len(byTypeRes[dt]), len(s.Query().DeviceType(dt).Resolutions()); got != want {
+			t.Errorf("ResolutionsByDeviceType[%v] has %d samples, want %d", dt, got, want)
+		}
+	}
+	byYearRes := s.Query().ResolutionsByYear()
+	for year := 2011; year <= 2017; year++ {
+		if got, want := len(byYearRes[year]), s.Query().Year(year).Count(); got != want {
+			t.Errorf("ResolutionsByYear[%d] has %d samples, want %d", year, got, want)
+		}
+	}
+}
+
+// The indexes must stay consistent while writers add reports concurrently
+// with readers aggregating — run under go test -race.
+func TestStoreConcurrentAddAndQuery(t *testing.T) {
+	s := NewStore()
+	const writers, perWriter, readers = 4, 200, 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				r := validReport()
+				r.Year = 2011 + j%7
+				r.Severity = Severity(j%3 + 1)
+				if _, err := s.Add(r); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if s.Query().Year(2015).Count() < 0 {
+					t.Error("negative count")
+					return
+				}
+				byYearSev := s.Query().CountByYearSeverity()
+				for _, row := range byYearSev {
+					for _, n := range row {
+						if n < 0 {
+							t.Error("negative grouped count")
+							return
+						}
+					}
+				}
+				// ID 1 exists as soon as any Add has landed.
+				if s.Len() > 0 {
+					if _, err := s.Get(1); err != nil {
+						t.Errorf("Get(1) with non-empty store: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := s.Len(), writers*perWriter; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if got, want := s.Query().Count(), writers*perWriter; got != want {
+		t.Fatalf("indexed total = %d, want %d", got, want)
+	}
+	// Every assigned ID resolves through the ID index.
+	for id := 1; id <= writers*perWriter; id++ {
+		if _, err := s.Get(id); err != nil {
+			t.Fatalf("Get(%d): %v", id, err)
+		}
+	}
+}
+
+func TestWriteReadRoundTripAfterShuffledLoad(t *testing.T) {
+	s := NewStore()
+	if err := s.ReadJSON(strings.NewReader(shuffledDataset())); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	if err := s2.ReadJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s.Len() {
+		t.Fatalf("round trip lost reports: %d != %d", s2.Len(), s.Len())
+	}
+}

@@ -95,18 +95,21 @@ func percentileSorted(sorted []float64, p float64) float64 {
 }
 
 // Percentiles returns the given percentiles of xs in one pass over a single
-// sorted copy.
+// sorted copy. All requested percentiles are validated before any O(n log n)
+// work happens, so bad input fails fast on large samples.
 func Percentiles(xs []float64, ps ...float64) ([]float64, error) {
 	if len(xs) == 0 {
 		return nil, ErrInsufficientData
+	}
+	for _, p := range ps {
+		if p < 0 || p > 100 {
+			return nil, errors.New("stats: percentile out of range")
+		}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	out := make([]float64, len(ps))
 	for i, p := range ps {
-		if p < 0 || p > 100 {
-			return nil, errors.New("stats: percentile out of range")
-		}
 		out[i] = percentileSorted(sorted, p)
 	}
 	return out, nil

@@ -116,6 +116,27 @@ func TestPercentiles(t *testing.T) {
 	}
 }
 
+// Percentiles must reject out-of-range requests before copying and sorting
+// the sample: with a large slice, p = 101 fails fast and the input stays
+// exactly as it was.
+func TestPercentilesValidatesBeforeSorting(t *testing.T) {
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = float64(len(xs) - i) // strictly descending
+	}
+	if _, err := Percentiles(xs, 50, 101); err == nil {
+		t.Fatal("p = 101 accepted")
+	}
+	for i := range xs {
+		if xs[i] != float64(len(xs)-i) {
+			t.Fatalf("input reordered at %d: %v", i, xs[i])
+		}
+	}
+	if _, err := Percentiles(xs, -1); err == nil {
+		t.Fatal("p = -1 accepted")
+	}
+}
+
 func TestFitLinearExact(t *testing.T) {
 	pts := []Point{{0, 1}, {1, 3}, {2, 5}, {3, 7}}
 	fit, err := FitLinear(pts)
