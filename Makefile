@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-sevquery
+.PHONY: build test vet race verify bench bench-sevquery bench-obs test-obs
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# verify is the tier-1 gate: vet plus the race-enabled test suite.
-verify: vet race
+# test-obs race-tests the telemetry package and every instrumented hot
+# path: lock-free metric updates and concurrent trace emission must stay
+# clean under the race detector.
+test-obs:
+	$(GO) test -race ./internal/obs/ ./internal/des/ ./internal/remediation/ ./internal/monitor/ ./internal/sev/ ./internal/core/
+
+# verify is the tier-1 gate: vet plus the race-enabled test suite (which
+# includes the obs package and all instrumented packages).
+verify: vet race test-obs
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 200ms .
@@ -26,3 +33,9 @@ bench:
 # BENCH_sevquery.json so speedups/regressions are diffable across PRs.
 bench-sevquery:
 	./scripts/bench_sevquery.sh
+
+# bench-obs measures the telemetry subsystem: obs micro-benchmarks plus
+# instrumented-vs-uninstrumented end-to-end dcsim and repro runs, recorded
+# in BENCH_obs.json. The end-to-end overhead must stay under 5%.
+bench-obs:
+	./scripts/bench_obs.sh

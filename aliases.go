@@ -9,6 +9,7 @@ import (
 	"dcnr/internal/backbone"
 	"dcnr/internal/core"
 	"dcnr/internal/fleet"
+	"dcnr/internal/obs"
 	"dcnr/internal/remediation"
 	"dcnr/internal/sev"
 	"dcnr/internal/stats"
@@ -205,3 +206,26 @@ func FitCurve(metric map[string]float64) (ExpFit, error) { return core.FitCurve(
 
 // CompletenessIssues returns the §4.2 review findings for a report.
 func CompletenessIssues(r *SEVReport) []string { return sev.CompletenessIssues(r) }
+
+// MetricsRegistry is a concurrency-safe registry of counters, gauges, and
+// histograms. Pass one through IntraConfig.Metrics / BackboneConfig.Metrics
+// to collect simulation telemetry; read it back with Snapshot,
+// WritePrometheus, or ExpvarVar.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's contents,
+// JSON-serializable.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Tracer records Chrome trace-event spans (load the WriteJSON output in
+// chrome://tracing or Perfetto). A nil *Tracer is a valid no-op recorder.
+type Tracer = obs.Tracer
+
+// TraceEvent is one recorded trace event.
+type TraceEvent = obs.Event
+
+// NewTracer returns a tracer whose wall clock starts now.
+func NewTracer() *Tracer { return obs.NewTracer() }

@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	dcsim [-seed N] [-scale N] [-out DIR]
+//	dcsim [-seed N] [-scale N] [-out DIR] [-metrics-out FILE] [-trace FILE]
 //
 // Outputs: DIR/sevs.json (the SEV dataset) and DIR/tickets.txt (the vendor
-// notice archive).
+// notice archive). With -metrics-out, a JSON snapshot of the simulation's
+// metrics (event counts, remediation queue histograms, query-path counters)
+// is written to FILE; with -trace, a Chrome trace-event file loadable in
+// chrome://tracing or Perfetto.
 package main
 
 import (
@@ -23,23 +26,38 @@ import (
 
 func main() {
 	var (
-		seed  = flag.Uint64("seed", 20181031, "simulation seed")
-		scale = flag.Int("scale", 1, "fleet population scale")
-		out   = flag.String("out", ".", "output directory")
+		seed       = flag.Uint64("seed", 20181031, "simulation seed")
+		scale      = flag.Int("scale", 1, "fleet population scale")
+		out        = flag.String("out", ".", "output directory")
+		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event file to this file")
 	)
 	flag.Parse()
-	if err := run(*seed, *scale, *out); err != nil {
+	if err := run(*seed, *scale, *out, *metricsOut, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dcsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, scale int, dir string) error {
+func run(seed uint64, scale int, dir, metricsOut, traceOut string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 
-	intra, err := dcnr.SimulateIntraDC(dcnr.IntraConfig{Seed: seed, Scale: scale})
+	// Telemetry is opt-in: uninstrumented runs keep nil registry/tracer,
+	// which the simulation hot paths treat as zero-cost no-ops.
+	var reg *dcnr.MetricsRegistry
+	var tracer *dcnr.Tracer
+	if metricsOut != "" {
+		reg = dcnr.NewMetricsRegistry()
+	}
+	if traceOut != "" {
+		tracer = dcnr.NewTracer()
+	}
+
+	intra, err := dcnr.SimulateIntraDC(dcnr.IntraConfig{
+		Seed: seed, Scale: scale, Metrics: reg, Trace: tracer,
+	})
 	if err != nil {
 		return err
 	}
@@ -60,6 +78,8 @@ func run(seed uint64, scale int, dir string) error {
 
 	cfg := dcnr.DefaultBackboneConfig()
 	cfg.Seed = seed
+	cfg.Metrics = reg
+	cfg.Trace = tracer
 	inter, err := dcnr.SimulateBackbone(cfg)
 	if err != nil {
 		return err
@@ -79,5 +99,42 @@ func run(seed uint64, scale int, dir string) error {
 	fmt.Printf("backbone: %d edges, %d links, %d vendors, %d repair tickets → %s\n",
 		len(inter.Topology.Edges), len(inter.Topology.Links), len(inter.Topology.Vendors),
 		len(inter.Notices), ticketPath)
+
+	if metricsOut != "" {
+		if err := writeMetrics(metricsOut, reg); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %s\n", metricsOut)
+	}
+	if traceOut != "" {
+		if err := writeTrace(traceOut, tracer); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events → %s\n", tracer.Len(), traceOut)
+	}
 	return nil
+}
+
+func writeMetrics(path string, reg *dcnr.MetricsRegistry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(f, reg.ExpvarVar().String()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTrace(path string, tr *dcnr.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

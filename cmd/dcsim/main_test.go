@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -10,7 +11,7 @@ import (
 
 func TestRunWritesDatasets(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(3, 1, dir); err != nil {
+	if err := run(3, 1, dir, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// The SEV dataset loads back and covers the study period.
@@ -37,7 +38,69 @@ func TestRunWritesDatasets(t *testing.T) {
 }
 
 func TestRunBadDirectory(t *testing.T) {
-	if err := run(1, 1, "/dev/null/not-a-dir"); err == nil {
+	if err := run(1, 1, "/dev/null/not-a-dir", "", ""); err == nil {
 		t.Error("invalid output directory accepted")
+	}
+}
+
+func TestRunWritesMetricsAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := run(3, 1, dir, metricsPath, tracePath); err != nil {
+		t.Fatal(err)
+	}
+
+	// The metrics snapshot is valid JSON and carries the simulation's
+	// counters from both the intra-DC and backbone runs.
+	var snap struct {
+		Counters   map[string]int64              `json:"counters"`
+		Gauges     map[string]float64            `json:"gauges"`
+		Histograms map[string]map[string]float64 `json:"-"`
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	if snap.Counters["des_events_fired_total"] == 0 {
+		t.Error("no DES events recorded in metrics snapshot")
+	}
+	if snap.Counters["remediation_submitted_total"] == 0 {
+		t.Error("no remediation submissions recorded in metrics snapshot")
+	}
+
+	// The trace file is valid Chrome trace-event JSON: a traceEvents
+	// array whose entries carry phase and name fields.
+	var trace struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	data, err = os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace file is not valid Chrome trace JSON: %v", err)
+	}
+	if len(trace.TraceEvents) < 100 {
+		t.Fatalf("trace has only %d events", len(trace.TraceEvents))
+	}
+	phases := map[string]bool{}
+	for _, e := range trace.TraceEvents {
+		if e.Phase == "" {
+			t.Fatalf("trace event %q missing phase", e.Name)
+		}
+		phases[e.Phase] = true
+	}
+	for _, ph := range []string{"M", "X"} {
+		if !phases[ph] {
+			t.Errorf("trace has no %q events (phases seen: %v)", ph, phases)
+		}
 	}
 }

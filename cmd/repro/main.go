@@ -4,7 +4,7 @@
 // Usage:
 //
 //	repro [-experiment id] [-seed N] [-scale N] [-format text|csv]
-//	      [-parallel N] [-list]
+//	      [-parallel N] [-metrics-addr ADDR] [-trace FILE] [-list]
 //	repro -verify [-seed N]
 //
 // Without -experiment, all experiments run across a bounded worker pool
@@ -14,16 +14,28 @@
 // wan-reroute, optical-attribution), followed by a per-analysis wall-time
 // footer. -verify grades the paper's headline claims and exits non-zero if
 // any fails.
+//
+// -metrics-addr serves runtime introspection over HTTP for the duration of
+// the run: /debug/vars (expvar, including the simulation's metrics under
+// "dcnr"), /metrics (Prometheus text format), and /debug/pprof/ (the
+// standard profiling endpoints). -trace records a Chrome trace-event file
+// covering the simulation's hot paths and every analysis task, loadable in
+// chrome://tracing or Perfetto.
 package main
 
 import (
 	"bytes"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dcnr"
@@ -34,13 +46,15 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment id to run (default: all)")
-		seed       = flag.Uint64("seed", 20181031, "simulation seed")
-		scale      = flag.Int("scale", 1, "fleet population scale")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		verify     = flag.Bool("verify", false, "grade the paper's headline claims and exit non-zero on failures")
-		format     = flag.String("format", "text", "output format: text or csv")
-		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker pool size for the all-experiments run (1 = serial)")
+		experiment  = flag.String("experiment", "", "experiment id to run (default: all)")
+		seed        = flag.Uint64("seed", 20181031, "simulation seed")
+		scale       = flag.Int("scale", 1, "fleet population scale")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		verify      = flag.Bool("verify", false, "grade the paper's headline claims and exit non-zero on failures")
+		format      = flag.String("format", "text", "output format: text or csv")
+		parallel    = flag.Int("parallel", runtime.NumCPU(), "worker pool size for the all-experiments run (1 = serial)")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar, Prometheus, and pprof on this address (e.g. :8080) for the duration of the run")
+		traceOut    = flag.String("trace", "", "write a Chrome trace-event file to this file")
 	)
 	flag.Parse()
 	switch *format {
@@ -58,8 +72,24 @@ func main() {
 		}
 		return
 	}
+
+	d := &datasets{seed: *seed, scale: *scale}
+	if *metricsAddr != "" {
+		d.metrics = dcnr.NewMetricsRegistry()
+		srv, addr, err := startMetricsServer(*metricsAddr, d.metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "repro: introspection on http://%s (/debug/vars, /metrics, /debug/pprof/)\n", addr)
+	}
+	if *traceOut != "" {
+		d.trace = dcnr.NewTracer()
+	}
+
 	if *verify {
-		ok, err := runVerify(os.Stdout, *seed, *scale)
+		ok, err := runVerify(os.Stdout, d)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "repro:", err)
 			os.Exit(1)
@@ -69,16 +99,79 @@ func main() {
 		}
 		return
 	}
-	if err := run(os.Stdout, *experiment, *seed, *scale, *parallel); err != nil {
+	if err := run(os.Stdout, *experiment, d, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
+	if *traceOut != "" {
+		if err := writeTraceFile(*traceOut, d.trace); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "repro: trace: %d events → %s\n", d.trace.Len(), *traceOut)
+	}
+}
+
+// publishedRegistry backs the process-wide "dcnr" expvar: expvar.Publish
+// panics on duplicate names, so the var is published once and reads
+// whichever registry the latest startMetricsServer call installed.
+var (
+	publishedRegistry atomic.Pointer[dcnr.MetricsRegistry]
+	publishOnce       sync.Once
+)
+
+// startMetricsServer serves runtime introspection on addr until the
+// returned server is closed: /debug/vars (expvar with the simulation's
+// metrics published under "dcnr"), /metrics (Prometheus text exposition),
+// and /debug/pprof/ (the net/http/pprof endpoints). It returns the bound
+// address so callers can pass ":0" and discover the port.
+func startMetricsServer(addr string, reg *dcnr.MetricsRegistry) (*http.Server, string, error) {
+	publishedRegistry.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("dcnr", expvar.Func(func() any {
+			if r := publishedRegistry.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r := publishedRegistry.Load(); r != nil {
+			r.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+func writeTraceFile(path string, tr *dcnr.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runVerify prints the claims scoreboard and reports whether every claim
 // held.
-func runVerify(w io.Writer, seed uint64, scale int) (bool, error) {
-	d := &datasets{seed: seed, scale: scale}
+func runVerify(w io.Writer, d *datasets) (bool, error) {
 	intra, err := d.intraDC()
 	if err != nil {
 		return false, err
@@ -90,7 +183,7 @@ func runVerify(w io.Writer, seed uint64, scale int) (bool, error) {
 	results := intra.Analysis.VerifyIntraClaims()
 	results = append(results, inter.Analysis.VerifyInterClaims()...)
 	t := &report.Table{
-		Title:   fmt.Sprintf("Reproduction scoreboard (seed %d)", seed),
+		Title:   fmt.Sprintf("Reproduction scoreboard (seed %d)", d.seed),
 		Headers: []string{"Verdict", "Claim", "Measured"},
 	}
 	allPass := true
@@ -126,6 +219,11 @@ type datasets struct {
 	seed  uint64
 	scale int
 
+	// metrics and trace, when non-nil, instrument the shared dataset
+	// builds (and, for trace, the analysis fan-out in runAll).
+	metrics *dcnr.MetricsRegistry
+	trace   *dcnr.Tracer
+
 	intraOnce sync.Once
 	intra     *dcnr.IntraResult
 	intraErr  error
@@ -137,7 +235,9 @@ type datasets struct {
 
 func (d *datasets) intraDC() (*dcnr.IntraResult, error) {
 	d.intraOnce.Do(func() {
-		d.intra, d.intraErr = dcnr.SimulateIntraDC(dcnr.IntraConfig{Seed: d.seed, Scale: d.scale})
+		d.intra, d.intraErr = dcnr.SimulateIntraDC(dcnr.IntraConfig{
+			Seed: d.seed, Scale: d.scale, Metrics: d.metrics, Trace: d.trace,
+		})
 	})
 	return d.intra, d.intraErr
 }
@@ -146,6 +246,8 @@ func (d *datasets) inter() (*dcnr.BackboneResult, error) {
 	d.backboneOnce.Do(func() {
 		cfg := dcnr.DefaultBackboneConfig()
 		cfg.Seed = d.seed
+		cfg.Metrics = d.metrics
+		cfg.Trace = d.trace
 		d.backbone, d.backboneErr = dcnr.SimulateBackbone(cfg)
 	})
 	return d.backbone, d.backboneErr
@@ -206,8 +308,7 @@ func init() {
 	}
 }
 
-func run(w io.Writer, id string, seed uint64, scale, workers int) error {
-	d := &datasets{seed: seed, scale: scale}
+func run(w io.Writer, id string, d *datasets, workers int) error {
 	if id != "" {
 		def, ok := experiments[id]
 		if !ok {
@@ -218,39 +319,55 @@ func run(w io.Writer, id string, seed uint64, scale, workers int) error {
 	return runAll(w, d, workers)
 }
 
+// Trace categories of the spans runAll records; the wall-time footer is
+// rebuilt from them.
+const (
+	datasetCat  = "dataset"
+	analysisCat = "analysis"
+)
+
+// buildNames labels the shared dataset builds in traces and the footer.
+var buildNames = []string{"dataset: intra-DC", "dataset: backbone"}
+
 // runAll regenerates every experiment across a bounded worker pool. The
 // two shared datasets are built first as their own (possibly concurrent)
 // timed tasks, so no experiment's measured time includes blocking on
 // another worker's sync.Once build. Each experiment renders into its own
-// buffer so output stays in paper order no matter which worker finishes
-// first; a footer table reports per-analysis wall time plus the
-// serial-sum vs wall-clock speedup.
+// buffer so output stays in paper order no matter which worker finished
+// first.
+//
+// Timing is the trace recorder's job: every build and experiment runs
+// under a per-task span (one trace lane per pool worker), and the footer
+// table re-derives per-analysis wall time from the recorded spans. When
+// -trace is set the same spans land in the exported file, so the footer
+// and the trace viewer can never disagree.
 func runAll(w io.Writer, d *datasets, workers int) error {
+	tr := d.trace
+	if tr == nil {
+		// No export requested: a private tracer still carries the
+		// footer's timings.
+		tr = dcnr.NewTracer()
+	}
 	begin := time.Now()
-	buildTimes := make([]time.Duration, 2)
 	builds := []func() error{
 		func() error { _, err := d.intraDC(); return err },
 		func() error { _, err := d.inter(); return err },
 	}
-	if err := dcnr.RunLimit(workers, len(builds), func(i int) error {
-		start := time.Now()
-		err := builds[i]()
-		buildTimes[i] = time.Since(start)
-		return err
-	}); err != nil {
+	if err := dcnr.RunLimitTraced(workers, len(builds), tr, datasetCat,
+		func(i int) string { return buildNames[i] },
+		func(i int) error { return builds[i]() }); err != nil {
 		return err
 	}
 	bufs := make([]bytes.Buffer, len(experimentOrder))
-	times := make([]time.Duration, len(experimentOrder))
-	err := dcnr.RunLimit(workers, len(experimentOrder), func(i int) error {
-		id := experimentOrder[i]
-		start := time.Now()
-		if err := experiments[id].run(d, &bufs[i]); err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		times[i] = time.Since(start)
-		return nil
-	})
+	err := dcnr.RunLimitTraced(workers, len(experimentOrder), tr, analysisCat,
+		func(i int) string { return experimentOrder[i] },
+		func(i int) error {
+			id := experimentOrder[i]
+			if err := experiments[id].run(d, &bufs[i]); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			return nil
+		})
 	if err != nil {
 		return err
 	}
@@ -260,22 +377,32 @@ func runAll(w io.Writer, d *datasets, workers int) error {
 			return err
 		}
 	}
-	return emitTimings(w, buildTimes, times, elapsed, workers)
+	return emitTimings(w, tr, elapsed, workers)
 }
 
-// emitTimings renders the per-analysis wall-time footer.
-func emitTimings(w io.Writer, buildTimes, times []time.Duration, elapsed time.Duration, workers int) error {
+// emitTimings renders the per-analysis wall-time footer from the spans
+// runAll recorded on tr (categories "dataset" and "analysis"; other
+// categories — DES events, remediation intervals — are someone else's).
+func emitTimings(w io.Writer, tr *dcnr.Tracer, elapsed time.Duration, workers int) error {
+	durs := make(map[string]time.Duration)
+	for _, e := range tr.Events() {
+		if e.Phase == "X" && (e.Cat == datasetCat || e.Cat == analysisCat) {
+			durs[e.Name] += time.Duration(e.Dur * float64(time.Microsecond))
+		}
+	}
 	t := &report.Table{
 		Title:   "Per-analysis wall time",
-		Note:    "regeneration cost of each artifact; serial sum vs wall clock shows the fan-out speedup",
+		Note:    "regeneration cost of each artifact, from trace spans; serial sum vs wall clock shows the fan-out speedup",
 		Headers: []string{"Experiment", "Time"},
 	}
-	serial := buildTimes[0] + buildTimes[1]
-	t.AddRow("dataset: intra-DC", buildTimes[0].Round(time.Microsecond).String())
-	t.AddRow("dataset: backbone", buildTimes[1].Round(time.Microsecond).String())
-	for i, id := range experimentOrder {
-		serial += times[i]
-		t.AddRow(id, times[i].Round(time.Microsecond).String())
+	serial := time.Duration(0)
+	for _, name := range buildNames {
+		serial += durs[name]
+		t.AddRow(name, durs[name].Round(time.Microsecond).String())
+	}
+	for _, id := range experimentOrder {
+		serial += durs[id]
+		t.AddRow(id, durs[id].Round(time.Microsecond).String())
 	}
 	t.AddRow("serial sum", serial.Round(time.Microsecond).String())
 	t.AddRow(fmt.Sprintf("wall clock (%d workers)", workers), elapsed.Round(time.Microsecond).String())

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"strings"
 	"testing"
+
+	"dcnr"
 )
 
 func TestRunSingleExperiments(t *testing.T) {
@@ -24,7 +28,7 @@ func TestRunSingleExperiments(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "fig99", 1, 1, 1); err == nil {
+	if err := run(&b, "fig99", &datasets{seed: 1, scale: 1}, 1); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -50,7 +54,8 @@ func TestRunAllAndVerify(t *testing.T) {
 		t.Skip("full experiment sweep")
 	}
 	var b strings.Builder
-	if err := run(&b, "", 20181031, 1, 0); err != nil {
+	d := &datasets{seed: 20181031, scale: 1, trace: dcnr.NewTracer()}
+	if err := run(&b, "", d, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -64,8 +69,21 @@ func TestRunAllAndVerify(t *testing.T) {
 	if strings.Index(out, "Table 1") > strings.Index(out, "Figure 15") {
 		t.Error("parallel run reordered experiment output")
 	}
+	// The footer was rebuilt from trace spans: every experiment has a
+	// recorded analysis span, plus the two dataset builds.
+	spans := map[string]bool{}
+	for _, e := range d.trace.Events() {
+		if e.Phase == "X" && (e.Cat == datasetCat || e.Cat == analysisCat) {
+			spans[e.Name] = true
+		}
+	}
+	for _, id := range append(append([]string{}, buildNames...), experimentOrder...) {
+		if !spans[id] {
+			t.Errorf("no trace span recorded for %s", id)
+		}
+	}
 	b.Reset()
-	ok, err := runVerify(&b, 20181031, 1)
+	ok, err := runVerify(&b, &datasets{seed: 20181031, scale: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,4 +93,55 @@ func TestRunAllAndVerify(t *testing.T) {
 	if !strings.Contains(b.String(), "claims reproduced") {
 		t.Error("scoreboard footer missing")
 	}
+}
+
+func TestMetricsServerEndpoints(t *testing.T) {
+	reg := dcnr.NewMetricsRegistry()
+	reg.Counter("repro_test_total").Add(7)
+	srv, addr, err := startMetricsServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	if body := get("/debug/vars"); !strings.Contains(body, `"dcnr"`) || !strings.Contains(body, "repro_test_total") {
+		t.Errorf("/debug/vars missing published registry:\n%s", body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "repro_test_total 7") {
+		t.Errorf("/metrics missing Prometheus exposition:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+
+	// A second server (tests and reruns) re-points the shared expvar at
+	// the new registry instead of panicking on a duplicate publish.
+	reg2 := dcnr.NewMetricsRegistry()
+	reg2.Counter("repro_second_total").Inc()
+	srv2, addr2, err := startMetricsServer("127.0.0.1:0", reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if body := get("/metrics"); !strings.Contains(body, "repro_second_total") {
+		t.Errorf("first server still exposing old registry after re-publish:\n%s", body)
+	}
+	_ = addr2
 }

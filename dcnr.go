@@ -51,6 +51,17 @@ type IntraConfig struct {
 	// ablation. Every fault on a remediation-supported device type then
 	// escalates to a service-level incident.
 	DisableRemediation bool
+	// Metrics, when non-nil, receives counters, gauges, and histograms
+	// from the simulation's hot paths (DES kernel, remediation engine,
+	// SEV query engine). See the Observability section of README.md for
+	// the metric names.
+	Metrics *MetricsRegistry
+	// Trace, when non-nil, records Chrome trace-event spans: per-event
+	// handler timings on the wall-clock track and remediation
+	// submit→outcome spans on the simulation-time track. Write the
+	// result with Tracer.WriteJSON and load it in chrome://tracing or
+	// Perfetto.
+	Trace *Tracer
 }
 
 // IntraResult carries the generated dataset and its analysis handles.
@@ -89,6 +100,7 @@ func SimulateIntraDC(cfg IntraConfig) (*IntraResult, error) {
 	if cfg.DisableRemediation {
 		driver.Engine.SetEnabled(false)
 	}
+	driver.Instrument(cfg.Metrics, cfg.Trace)
 	store, err := driver.Run(cfg.FromYear, cfg.ToYear)
 	if err != nil {
 		return nil, fmt.Errorf("dcnr: simulating: %w", err)
@@ -170,6 +182,15 @@ func SimulateBackbone(cfg BackboneConfig) (*BackboneResult, error) {
 // independent, such as sweeping seeds or scales.
 func RunLimit(workers, n int, task func(i int) error) error {
 	return core.RunLimit(workers, n, task)
+}
+
+// RunLimitTraced is RunLimit with per-task telemetry: each task records a
+// wall-clock span on tr under category cat, named by name(i) (the task
+// index when name is nil), with one trace lane per pool worker. A nil tr
+// records nothing, so callers can thread an optional tracer straight
+// through.
+func RunLimitTraced(workers, n int, tr *Tracer, cat string, name func(i int) string, task func(i int) error) error {
+	return core.RunLimitTraced(workers, n, tr, cat, name, task)
 }
 
 // RemediationSupported reports whether automated remediation covers the

@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"dcnr/internal/des"
+	"dcnr/internal/obs"
 	"dcnr/internal/simrand"
 )
 
@@ -146,6 +147,12 @@ type Config struct {
 	Months int
 	// Seed roots all randomness.
 	Seed uint64
+	// Metrics, when non-nil, receives the DES kernel's counters and
+	// gauges for the backbone simulation.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records per-event spans from the backbone's
+	// event loop.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig returns the study-sized configuration.
@@ -327,6 +334,7 @@ func (t *Topology) Simulate(cfg Config) ([]LinkDown, error) {
 	window := cfg.WindowHours()
 	src := simrand.NewSource(cfg.Seed ^ 0x9e3779b97f4a7c15)
 	sim := &des.Simulator{}
+	sim.Instrument(cfg.Metrics, cfg.Trace)
 	var out []LinkDown
 
 	record := func(link int, start, end float64, cut bool) {

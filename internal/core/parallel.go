@@ -2,8 +2,11 @@ package core
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"dcnr/internal/obs"
 )
 
 // RunLimit runs n independent tasks across a bounded pool of at most
@@ -15,6 +18,16 @@ import (
 // the failing task with the lowest index, which keeps the outcome
 // deterministic under concurrency.
 func RunLimit(workers, n int, task func(i int) error) error {
+	return RunLimitTraced(workers, n, nil, "", nil, task)
+}
+
+// RunLimitTraced is RunLimit with per-task telemetry: each task records a
+// wall-clock span on tr, named by name(i) (the task index when name is
+// nil), with one trace lane (tid) per pool worker — so the trace viewer
+// shows the fan-out's actual occupancy, and callers can rebuild wall-time
+// accounting from the recorded spans instead of timing tasks themselves.
+// A nil tr records nothing and adds no overhead beyond a nil check.
+func RunLimitTraced(workers, n int, tr *obs.Tracer, cat string, name func(i int) string, task func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -29,6 +42,7 @@ func RunLimit(workers, n int, task func(i int) error) error {
 	next.Store(-1)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -37,7 +51,23 @@ func RunLimit(workers, n int, task func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = task(i)
+				if tr != nil {
+					label := ""
+					if name != nil {
+						label = name(i)
+					}
+					if label == "" {
+						label = "task " + strconv.Itoa(i)
+					}
+					sp := tr.BeginOn(w+1, cat, label)
+					errs[i] = task(i)
+					if errs[i] != nil {
+						sp = sp.SetArg("error", errs[i].Error())
+					}
+					sp.End()
+				} else {
+					errs[i] = task(i)
+				}
 			}
 		}()
 	}

@@ -2,9 +2,12 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"dcnr/internal/obs"
 )
 
 func TestRunLimitRunsEveryTask(t *testing.T) {
@@ -65,6 +68,57 @@ func TestRunLimitFirstErrorByIndex(t *testing.T) {
 	}
 	if ran != 20 {
 		t.Errorf("%d tasks ran, want all 20", ran)
+	}
+}
+
+func TestRunLimitTracedRecordsPerTaskSpans(t *testing.T) {
+	tr := obs.NewTracer()
+	const workers, n = 3, 17
+	failing := errors.New("task 4 boom")
+	err := RunLimitTraced(workers, n, tr, "analysis",
+		func(i int) string { return fmt.Sprintf("exp%02d", i) },
+		func(i int) error {
+			if i == 4 {
+				return failing
+			}
+			return nil
+		})
+	if err != failing {
+		t.Fatalf("err = %v, want the failing task's error", err)
+	}
+	evs := tr.Events()
+	if len(evs) != n {
+		t.Fatalf("spans = %d, want %d", len(evs), n)
+	}
+	seen := make(map[string]bool)
+	for _, e := range evs {
+		if e.Phase != "X" || e.Cat != "analysis" {
+			t.Errorf("bad span %+v", e)
+		}
+		if e.TID < 1 || e.TID > workers {
+			t.Errorf("span lane %d outside worker pool [1, %d]", e.TID, workers)
+		}
+		seen[e.Name] = true
+		if e.Name == "exp04" && e.Args["error"] == nil {
+			t.Error("failing task's span missing error arg")
+		}
+	}
+	for i := 0; i < n; i++ {
+		if name := fmt.Sprintf("exp%02d", i); !seen[name] {
+			t.Errorf("no span for %s", name)
+		}
+	}
+	// nil name function falls back to index labels.
+	tr2 := obs.NewTracer()
+	if err := RunLimitTraced(2, 2, tr2, "c", nil, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range tr2.Events() {
+		names[e.Name] = true
+	}
+	if !names["task 0"] || !names["task 1"] {
+		t.Errorf("fallback labels wrong: %v", names)
 	}
 }
 

@@ -11,6 +11,9 @@ import (
 	"container/heap"
 	"errors"
 	"math"
+	"time"
+
+	"dcnr/internal/obs"
 )
 
 // Handler is the action an event performs when it fires.
@@ -65,6 +68,68 @@ type Simulator struct {
 	queue  eventHeap
 	fired  uint64
 	halted bool
+
+	// Telemetry, attached by Instrument. All fields are nil (no-op) by
+	// default so the uninstrumented hot loop pays nothing.
+	mFired   *obs.Counter
+	gQueue   *obs.Gauge
+	gSimTime *obs.Gauge
+	hEvent   *obs.Histogram
+	tracer   *obs.Tracer
+}
+
+// Instrument attaches telemetry to the simulator. Metrics registered on
+// reg: des_events_fired_total (counter), des_queue_depth and des_sim_hours
+// (gauges), and des_event_wall_seconds (histogram of per-event handler
+// cost). When tr is non-nil, every fired event additionally records a
+// wall-clock trace span carrying the simulation time and queue depth, plus
+// periodic des_queue_depth counter samples — the sim-time-vs-wall-time
+// view the trace viewer renders. Either argument may be nil.
+func (s *Simulator) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	if reg != nil {
+		s.mFired = reg.Counter("des_events_fired_total")
+		s.gQueue = reg.Gauge("des_queue_depth")
+		s.gSimTime = reg.Gauge("des_sim_hours")
+		s.hEvent = reg.Histogram("des_event_wall_seconds",
+			[]float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1})
+	}
+	s.tracer = tr
+}
+
+// fire executes one popped event, with telemetry when attached.
+func (s *Simulator) fire(next *Event) {
+	s.now = next.at
+	s.fired++
+	if s.mFired == nil && s.tracer == nil {
+		next.handler(s.now)
+		return
+	}
+	start := time.Now()
+	next.handler(s.now)
+	wall := time.Since(start)
+	if s.mFired != nil {
+		s.mFired.Inc()
+		s.gQueue.Set(float64(len(s.queue)))
+		s.gSimTime.Set(s.now)
+		s.hEvent.Observe(wall.Seconds())
+	}
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{
+			Name:  "des.event",
+			Cat:   "des",
+			Phase: "X",
+			TS:    s.tracer.Now() - float64(wall)/float64(time.Microsecond),
+			Dur:   float64(wall) / float64(time.Microsecond),
+			PID:   obs.WallPID,
+			TID:   1,
+			Args:  map[string]any{"sim_hours": s.now, "pending": len(s.queue)},
+		})
+		// A queue-depth sample every 256 events keeps the counter chart
+		// readable without drowning the trace in samples.
+		if s.fired%256 == 0 {
+			s.tracer.CounterSample("des_queue_depth", float64(len(s.queue)))
+		}
+	}
 }
 
 // ErrPast is returned when an event is scheduled before the current time.
@@ -125,9 +190,7 @@ func (s *Simulator) Run(until float64) {
 			break
 		}
 		heap.Pop(&s.queue)
-		s.now = next.at
-		s.fired++
-		next.handler(s.now)
+		s.fire(next)
 	}
 	if !s.halted && s.now < until {
 		s.now = until
@@ -141,9 +204,7 @@ func (s *Simulator) Step() bool {
 		return false
 	}
 	next := heap.Pop(&s.queue).(*Event)
-	s.now = next.at
-	s.fired++
-	next.handler(s.now)
+	s.fire(next)
 	return true
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"dcnr/internal/obs"
 	"dcnr/internal/simrand"
 )
 
@@ -228,6 +229,66 @@ func TestEventOrderProperty(t *testing.T) {
 	}
 }
 
+func TestInstrumentedRunRecordsMetricsAndTrace(t *testing.T) {
+	var s Simulator
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	s.Instrument(reg, tr)
+	const n = 300
+	for i := 0; i < n; i++ {
+		s.After(float64(i), func(float64) {})
+	}
+	s.Run(1000)
+	snap := reg.Snapshot()
+	if got := snap.Counters["des_events_fired_total"]; got != n {
+		t.Errorf("des_events_fired_total = %d, want %d", got, n)
+	}
+	if got := snap.Gauges["des_queue_depth"]; got != 0 {
+		t.Errorf("final des_queue_depth = %v, want 0", got)
+	}
+	if got := snap.Gauges["des_sim_hours"]; got != n-1 {
+		t.Errorf("des_sim_hours = %v, want %d (last event time)", got, n-1)
+	}
+	if got := snap.Histograms["des_event_wall_seconds"].Count; got != n {
+		t.Errorf("event histogram count = %d, want %d", got, n)
+	}
+	// One span per event plus a queue-depth sample every 256 events.
+	spans := 0
+	samples := 0
+	for _, e := range tr.Events() {
+		switch e.Phase {
+		case "X":
+			spans++
+			if e.Args["sim_hours"] == nil {
+				t.Fatal("des span missing sim_hours arg")
+			}
+		case "C":
+			samples++
+		}
+	}
+	if spans != n {
+		t.Errorf("trace spans = %d, want %d", spans, n)
+	}
+	if samples != n/256 {
+		t.Errorf("counter samples = %d, want %d", samples, n/256)
+	}
+}
+
+func TestInstrumentMetricsOnlyAndStep(t *testing.T) {
+	var s Simulator
+	reg := obs.NewRegistry()
+	s.Instrument(reg, nil) // metrics without tracing
+	s.After(1, func(float64) {})
+	s.After(2, func(float64) {})
+	s.Step()
+	if got := reg.Counter("des_events_fired_total").Value(); got != 1 {
+		t.Errorf("fired after Step = %d, want 1", got)
+	}
+	if got := reg.Gauge("des_queue_depth").Value(); got != 1 {
+		t.Errorf("queue depth = %v, want 1", got)
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	r := simrand.New(1)
 	times := make([]float64, 10000)
@@ -237,6 +298,26 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var s Simulator
+		for _, at := range times {
+			s.After(at, func(float64) {})
+		}
+		s.Run(1000)
+	}
+}
+
+func BenchmarkObsScheduleAndRunInstrumented(b *testing.B) {
+	// The metrics-only counterpart of BenchmarkScheduleAndRun: the delta is
+	// the kernel-level instrumentation overhead bench_obs.sh tracks.
+	r := simrand.New(1)
+	times := make([]float64, 10000)
+	for i := range times {
+		times[i] = r.Float64() * 1000
+	}
+	reg := obs.NewRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s Simulator
+		s.Instrument(reg, nil)
 		for _, at := range times {
 			s.After(at, func(float64) {})
 		}

@@ -15,6 +15,7 @@ import (
 
 	"dcnr/internal/des"
 	"dcnr/internal/fleet"
+	"dcnr/internal/obs"
 	"dcnr/internal/remediation"
 	"dcnr/internal/service"
 	"dcnr/internal/sev"
@@ -86,6 +87,17 @@ func NewDriver(fl *fleet.Model, seed uint64) (*Driver, error) {
 // Simulator exposes the driver's event loop (useful for composing extra
 // processes before Run).
 func (d *Driver) Simulator() *des.Simulator { return d.sim }
+
+// Instrument attaches telemetry to the whole intra-DC pipeline: the DES
+// kernel (event counters, queue depth, sim-vs-wall time), the remediation
+// engine (queue depth, wait/repair histograms, submit→outcome trace
+// spans), and the SEV store's query engine (indexed-vs-scan counters).
+// Call before Run; either argument may be nil.
+func (d *Driver) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	d.sim.Instrument(reg, tr)
+	d.Engine.Instrument(reg, tr)
+	d.Store.Instrument(reg)
+}
 
 // Faults reports how many device faults the last Run generated.
 func (d *Driver) Faults() int { return d.faults }

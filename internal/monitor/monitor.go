@@ -19,6 +19,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"dcnr/internal/obs"
 )
 
 // FaultFunc is called once each time a registered device is declared down.
@@ -33,6 +35,28 @@ type Monitor struct {
 	mu       sync.Mutex
 	lastSeen map[string]time.Time
 	down     map[string]bool
+
+	// Telemetry, attached by Instrument; nil fields are no-ops.
+	mHeartbeats *obs.Counter
+	mDown       *obs.Counter
+	mMalformed  *obs.Counter
+	gTracked    *obs.Gauge
+}
+
+// Instrument attaches telemetry to the monitor. Metrics registered on reg:
+// monitor_heartbeats_total and monitor_down_transitions_total (counters),
+// monitor_malformed_packets_total (counter, fed by ServePacket), and
+// monitor_tracked_devices (gauge). reg may be nil.
+func (m *Monitor) Instrument(reg *obs.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	m.mHeartbeats = reg.Counter("monitor_heartbeats_total")
+	m.mDown = reg.Counter("monitor_down_transitions_total")
+	m.mMalformed = reg.Counter("monitor_malformed_packets_total")
+	m.gTracked = reg.Gauge("monitor_tracked_devices")
 }
 
 // New returns a Monitor that declares a device down after `misses`
@@ -62,6 +86,7 @@ func (m *Monitor) Register(device string, now time.Time) {
 	defer m.mu.Unlock()
 	if _, ok := m.lastSeen[device]; !ok {
 		m.lastSeen[device] = now
+		m.gTracked.Set(float64(len(m.lastSeen)))
 	}
 }
 
@@ -72,6 +97,8 @@ func (m *Monitor) Heartbeat(device string, now time.Time) {
 	defer m.mu.Unlock()
 	m.lastSeen[device] = now
 	delete(m.down, device)
+	m.mHeartbeats.Inc()
+	m.gTracked.Set(float64(len(m.lastSeen)))
 }
 
 // Check scans for devices whose last heartbeat is older than
@@ -90,6 +117,7 @@ func (m *Monitor) Check(now time.Time) []string {
 			newlyDown = append(newlyDown, device)
 		}
 	}
+	m.mDown.Add(int64(len(newlyDown)))
 	m.mu.Unlock()
 	sort.Strings(newlyDown)
 	for _, d := range newlyDown {
@@ -117,20 +145,33 @@ const heartbeatPrefix = "HEARTBEAT "
 
 // ServePacket consumes heartbeat datagrams ("HEARTBEAT <device>") from
 // conn until the connection is closed, stamping each with the wall clock.
-// Malformed packets are counted and dropped. It returns the number of
-// malformed packets seen.
-func (m *Monitor) ServePacket(conn net.PacketConn) int {
+// Malformed packets are counted (and reported on the
+// monitor_malformed_packets_total counter when instrumented) and dropped.
+//
+// Shutdown contract: closing conn is the only stop signal. ReadFrom then
+// fails with net.ErrClosed, the loop exits, and ServePacket returns the
+// malformed count with a nil error — so the goroutine running it
+// terminates promptly and never touches the monitor again (regression
+// test: TestServePacketStopsCleanlyOnClose). Any other read error is
+// returned as-is.
+func (m *Monitor) ServePacket(conn net.PacketConn) (malformed int, err error) {
+	m.mu.Lock()
+	mMalformed := m.mMalformed
+	m.mu.Unlock()
 	buf := make([]byte, 512)
-	malformed := 0
 	for {
 		n, _, err := conn.ReadFrom(buf)
 		if err != nil {
-			return malformed
+			if errors.Is(err, net.ErrClosed) {
+				return malformed, nil
+			}
+			return malformed, err
 		}
 		msg := strings.TrimSpace(string(buf[:n]))
 		device, ok := strings.CutPrefix(msg, heartbeatPrefix)
 		if !ok || device == "" {
 			malformed++
+			mMalformed.Inc()
 			continue
 		}
 		m.Heartbeat(device, time.Now())

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dcnr/internal/obs"
 )
 
 func newMon(t *testing.T, faults *[]string) *Monitor {
@@ -130,7 +132,13 @@ func TestUDPHeartbeatPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan int, 1)
-	go func() { done <- m.ServePacket(pc) }()
+	go func() {
+		malformed, err := m.ServePacket(pc)
+		if err != nil {
+			t.Errorf("ServePacket returned error on close: %v", err)
+		}
+		done <- malformed
+	}()
 
 	conn, err := net.Dial("udp", pc.LocalAddr().String())
 	if err != nil {
@@ -164,6 +172,82 @@ func TestUDPHeartbeatPath(t *testing.T) {
 	pc.Close()
 	if malformed := <-done; malformed != 2 {
 		t.Errorf("malformed = %d, want 2", malformed)
+	}
+}
+
+func TestServePacketStopsCleanlyOnClose(t *testing.T) {
+	// Regression: closing the listener must terminate the serve loop
+	// promptly with a nil error (net.ErrClosed is the expected shutdown
+	// path, not a failure) and leak no goroutine blocked in ReadFrom.
+	var faults []string
+	m := newMon(t, &faults)
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		malformed int
+		err       error
+	}
+	done := make(chan result, 1)
+	go func() {
+		malformed, err := m.ServePacket(pc)
+		done <- result{malformed, err}
+	}()
+
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Tracked() == 0 && time.Now().Before(deadline) {
+		if err := SendHeartbeat(conn, "rsw001"); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	pc.Close()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Errorf("close surfaced as error: %v", r.err)
+		}
+		if r.malformed < 1 {
+			t.Errorf("malformed = %d, want ≥ 1", r.malformed)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ServePacket goroutine did not exit after close")
+	}
+	// The monitor stays fully usable after the listener is gone.
+	m.Heartbeat("rsw002", time.Now())
+	if m.Tracked() != 2 {
+		t.Errorf("Tracked = %d after post-close heartbeat", m.Tracked())
+	}
+}
+
+func TestInstrumentedMonitorMetrics(t *testing.T) {
+	var faults []string
+	m := newMon(t, &faults)
+	reg := obs.NewRegistry()
+	m.Instrument(reg)
+	t0 := time.Unix(0, 0)
+	m.Heartbeat("rsw001", t0)
+	m.Heartbeat("rsw002", t0)
+	m.Heartbeat("rsw001", t0.Add(time.Second))
+	m.Check(t0.Add(time.Minute)) // both miss → down
+	snap := reg.Snapshot()
+	if got := snap.Counters["monitor_heartbeats_total"]; got != 3 {
+		t.Errorf("heartbeats = %d, want 3", got)
+	}
+	if got := snap.Counters["monitor_down_transitions_total"]; got != 2 {
+		t.Errorf("down transitions = %d, want 2", got)
+	}
+	if got := snap.Gauges["monitor_tracked_devices"]; got != 2 {
+		t.Errorf("tracked = %v, want 2", got)
 	}
 }
 

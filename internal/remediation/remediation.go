@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"dcnr/internal/des"
+	"dcnr/internal/obs"
 	"dcnr/internal/simrand"
 	"dcnr/internal/topology"
 )
@@ -192,12 +193,27 @@ func (s TypeStats) AvgRepairSeconds() float64 {
 
 // Engine is the automated repair system. It is driven by a des.Simulator:
 // Submit schedules the repair's wait and execution as simulation events.
+//
+// Submit may be called from multiple goroutines: statistics, randomness,
+// and the simulator's event queue are all touched under the engine's
+// mutex, so concurrent submissions stay internally consistent. (Running
+// the simulator concurrently with Submit is still the caller's problem —
+// the DES kernel itself is single-threaded.)
 type Engine struct {
 	mu      sync.Mutex
 	sim     *des.Simulator
 	rng     *simrand.Stream
 	enabled bool
 	stats   map[topology.DeviceType]*TypeStats
+
+	// Telemetry, attached by Instrument; nil fields are no-ops.
+	mSubmitted *obs.Counter
+	mRepaired  *obs.Counter
+	mEscalated *obs.Counter
+	gQueue     *obs.Gauge
+	hWait      *obs.Histogram
+	hRepair    *obs.Histogram
+	tracer     *obs.Tracer
 }
 
 // NewEngine returns an enabled Engine drawing randomness from rng and
@@ -209,6 +225,31 @@ func NewEngine(sim *des.Simulator, rng *simrand.Stream) *Engine {
 		enabled: true,
 		stats:   make(map[topology.DeviceType]*TypeStats),
 	}
+}
+
+// Instrument attaches telemetry to the engine. Metrics registered on reg:
+// remediation_submitted_total, remediation_repaired_total, and
+// remediation_escalated_total (counters — escalated/submitted is the
+// escalation ratio), remediation_queue_depth (gauge of repairs currently
+// waiting or executing), and the remediation_wait_hours /
+// remediation_repair_seconds histograms. When tr is non-nil each automated
+// repair records a submit→outcome span on the simulation-time track (one
+// lane per device type) and each escalation an instant marker. Either
+// argument may be nil.
+func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if reg != nil {
+		e.mSubmitted = reg.Counter("remediation_submitted_total")
+		e.mRepaired = reg.Counter("remediation_repaired_total")
+		e.mEscalated = reg.Counter("remediation_escalated_total")
+		e.gQueue = reg.Gauge("remediation_queue_depth")
+		e.hWait = reg.Histogram("remediation_wait_hours",
+			[]float64{0.05, 0.25, 1, 6, 24, 72, 168, 336})
+		e.hRepair = reg.Histogram("remediation_repair_seconds",
+			[]float64{1, 2, 5, 10, 30, 60, 120, 300})
+	}
+	e.tracer = tr
 }
 
 // SetEnabled turns the engine on or off. A disabled engine escalates every
@@ -229,19 +270,27 @@ func (e *Engine) Enabled() bool {
 // Submit hands a detected fault on a device of type t to the engine. The
 // done callback fires (as a simulation event) once the outcome is known:
 // immediately for escalations, after wait+repair for automated fixes.
+// Submit is safe to call concurrently; the event scheduling happens under
+// the engine's mutex.
 func (e *Engine) Submit(t topology.DeviceType, class FaultClass, done func(Outcome)) {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	st := e.stats[t]
 	if st == nil {
 		st = &TypeStats{}
 		e.stats[t] = st
 	}
 	st.Issues++
+	e.mSubmitted.Inc()
 
 	pol := policies[t]
 	if !e.enabled || !pol.supported || e.rng.Bool(pol.escalate) {
 		st.Escalated++
-		e.mu.Unlock()
+		e.mEscalated.Inc()
+		if e.tracer != nil {
+			e.tracer.SimInstant(int(t)+1, "remediation", "escalated: "+class.String(),
+				e.sim.Now(), map[string]any{"device_type": t.String()})
+		}
 		e.sim.After(0, func(float64) {
 			done(Outcome{Repaired: false, Priority: -1})
 		})
@@ -258,7 +307,19 @@ func (e *Engine) Submit(t topology.DeviceType, class FaultClass, done func(Outco
 	st.sumPriority += float64(priority)
 	st.sumWaitHours += wait
 	st.sumRepairSeconds += repairSec
-	e.mu.Unlock()
+	e.mRepaired.Inc()
+	e.hWait.Observe(wait)
+	e.hRepair.Observe(repairSec)
+	e.gQueue.Add(1)
+	if e.tracer != nil {
+		e.tracer.EmitSimSpan(int(t)+1, "remediation", class.String(),
+			e.sim.Now(), wait+repairSec/3600, map[string]any{
+				"device_type":    t.String(),
+				"priority":       priority,
+				"wait_hours":     wait,
+				"repair_seconds": repairSec,
+			})
+	}
 
 	out := Outcome{
 		Repaired:      true,
@@ -267,7 +328,11 @@ func (e *Engine) Submit(t topology.DeviceType, class FaultClass, done func(Outco
 		RepairSeconds: repairSec,
 		Action:        class.Action(),
 	}
-	e.sim.After(wait+repairSec/3600, func(float64) { done(out) })
+	gQueue := e.gQueue
+	e.sim.After(wait+repairSec/3600, func(float64) {
+		gQueue.Add(-1)
+		done(out)
+	})
 }
 
 // Stats returns a copy of the per-type statistics accumulated so far.

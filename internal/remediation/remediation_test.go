@@ -3,9 +3,11 @@ package remediation
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"dcnr/internal/des"
+	"dcnr/internal/obs"
 	"dcnr/internal/simrand"
 	"dcnr/internal/topology"
 )
@@ -220,6 +222,111 @@ func TestStatsCopySemantics(t *testing.T) {
 	s.Issues = 999
 	if e.Stats()[topology.RSW].Issues == 999 {
 		t.Error("Stats exposes internal state")
+	}
+}
+
+func TestStatsConsistentUnderConcurrentSubmit(t *testing.T) {
+	// Submit is documented as concurrency-safe: stats, randomness, and the
+	// simulator's queue are all guarded by the engine mutex. Hammer it from
+	// several goroutines (run under -race via make verify) and assert the
+	// per-type accounting stays internally consistent.
+	e, sim := newTestEngine()
+	const workers = 8
+	const per = 500
+	types := []topology.DeviceType{topology.RSW, topology.FSW, topology.Core, topology.CSA}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e.Submit(types[(w+i)%len(types)], PortPingFailure, func(Outcome) {})
+			}
+		}()
+	}
+	wg.Wait()
+	st := e.Stats()
+	total := 0
+	for dt, s := range st {
+		if s.Repaired+s.Escalated != s.Issues {
+			t.Errorf("%v: repaired %d + escalated %d != issues %d", dt, s.Repaired, s.Escalated, s.Issues)
+		}
+		if s.Repaired > 0 {
+			if s.AvgWaitHours() <= 0 || s.AvgRepairSeconds() <= 0 {
+				t.Errorf("%v: non-positive averages with %d repairs", dt, s.Repaired)
+			}
+			if p := s.AvgPriority(); p < 0 || p > 3 {
+				t.Errorf("%v: avg priority %v out of range", dt, p)
+			}
+		}
+		total += s.Issues
+	}
+	if total != workers*per {
+		t.Errorf("issues total = %d, want %d", total, workers*per)
+	}
+	// Every submission scheduled exactly one outcome event; drain them.
+	sim.Run(math.Inf(1))
+	if got := sim.Fired(); got != workers*per {
+		t.Errorf("outcome events fired = %d, want %d", got, workers*per)
+	}
+}
+
+func TestInstrumentedEngineCounters(t *testing.T) {
+	e, sim := newTestEngine()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	e.Instrument(reg, tr)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		e.Submit(topology.RSW, PortPingFailure, func(Outcome) {})
+	}
+	for i := 0; i < 100; i++ {
+		e.Submit(topology.CSA, FanFailure, func(Outcome) {}) // unsupported → escalates
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["remediation_submitted_total"]; got != n+100 {
+		t.Errorf("submitted = %d, want %d", got, n+100)
+	}
+	rep := snap.Counters["remediation_repaired_total"]
+	esc := snap.Counters["remediation_escalated_total"]
+	if rep+esc != n+100 {
+		t.Errorf("repaired %d + escalated %d != submitted %d", rep, esc, n+100)
+	}
+	if esc < 100 {
+		t.Errorf("escalated = %d, want ≥ 100 (all CSA submissions)", esc)
+	}
+	st := e.Stats()
+	if int64(st[topology.RSW].Repaired) != rep {
+		t.Errorf("counter repaired %d != stats repaired %d", rep, st[topology.RSW].Repaired)
+	}
+	// Queue depth: every repaired fault is in flight until its outcome
+	// event fires; afterwards the gauge returns to zero.
+	if got := snap.Gauges["remediation_queue_depth"]; got != float64(rep) {
+		t.Errorf("queue depth before run = %v, want %d", got, rep)
+	}
+	sim.Run(math.Inf(1))
+	if got := reg.Gauge("remediation_queue_depth").Value(); got != 0 {
+		t.Errorf("queue depth after run = %v, want 0", got)
+	}
+	if got := reg.Histogram("remediation_wait_hours", nil).Count(); got != rep {
+		t.Errorf("wait histogram count = %d, want %d", got, rep)
+	}
+	// Trace: one sim-track span per repair, one instant per escalation.
+	spans, instants := 0, 0
+	for _, ev := range tr.Events() {
+		if ev.PID != obs.SimPID {
+			continue
+		}
+		switch ev.Phase {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+	}
+	if int64(spans) != rep || int64(instants) != esc {
+		t.Errorf("trace spans %d / instants %d, want %d / %d", spans, instants, rep, esc)
 	}
 }
 

@@ -15,6 +15,15 @@ import (
 // the lists are intersected starting from the smallest, and the Since/Until
 // window is applied as a residual filter over the candidates. A query with
 // no indexed predicate falls back to a sequential scan.
+//
+// Note that Since and Until alone do NOT engage an index: a query narrowed
+// only by the time window (for example Query().Since(a).Until(b)) silently
+// takes the sequential-scan path, because start times have no posting
+// list. Combine the window with at least one set-valued predicate (Year is
+// the natural one — a window rarely spans many years) to stay on the index
+// path. An instrumented store (Store.Instrument) counts the two paths as
+// sev_queries_indexed_total vs sev_queries_scan_total, so scan regressions
+// show up in metrics instead of only in latency.
 type Query struct {
 	store        *Store
 	year         *int
@@ -166,13 +175,22 @@ func (q Query) forEach(fn func(pos int, r *Report)) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if lists, indexed := q.postingsLocked(); indexed {
-		for _, pos := range intersectPostings(lists) {
+		s.mIndexed.Inc()
+		if s.hPostings != nil {
+			for _, list := range lists {
+				s.hPostings.Observe(float64(len(list)))
+			}
+		}
+		candidates := intersectPostings(lists)
+		s.hCandidates.Observe(float64(len(candidates)))
+		for _, pos := range candidates {
 			if r := &s.reports[pos]; q.matchesWindow(r) {
 				fn(pos, r)
 			}
 		}
 		return
 	}
+	s.mScanned.Inc()
 	for pos := range s.reports {
 		if r := &s.reports[pos]; q.matches(r) {
 			fn(pos, r)

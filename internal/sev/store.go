@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"dcnr/internal/obs"
 	"dcnr/internal/topology"
 )
 
@@ -35,6 +36,33 @@ type Store struct {
 	bySev    map[Severity][]int
 	byDesign map[topology.Design][]int
 	byCause  map[RootCause][]int
+
+	// Telemetry, attached by Instrument; nil fields are no-ops.
+	mIndexed    *obs.Counter
+	mScanned    *obs.Counter
+	hPostings   *obs.Histogram
+	hCandidates *obs.Histogram
+}
+
+// Instrument attaches telemetry to the store's query engine. Metrics
+// registered on reg: sev_queries_indexed_total and sev_queries_scan_total
+// (counters — a rising scan count flags queries that silently bypass the
+// posting lists, e.g. pure Since/Until windows), sev_posting_list_size
+// (histogram of each selected posting list's length), and
+// sev_query_candidates (histogram of post-intersection candidate counts).
+// reg may be nil.
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	s.mIndexed = reg.Counter("sev_queries_indexed_total")
+	s.mScanned = reg.Counter("sev_queries_scan_total")
+	s.hPostings = reg.Histogram("sev_posting_list_size",
+		[]float64{1, 10, 100, 1000, 10000, 100000})
+	s.hCandidates = reg.Histogram("sev_query_candidates",
+		[]float64{1, 10, 100, 1000, 10000, 100000})
 }
 
 // NewStore returns an empty Store.

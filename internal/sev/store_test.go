@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"dcnr/internal/obs"
 	"dcnr/internal/topology"
 )
 
@@ -320,6 +321,38 @@ func TestStoreConcurrentAddAndQuery(t *testing.T) {
 		if _, err := s.Get(id); err != nil {
 			t.Fatalf("Get(%d): %v", id, err)
 		}
+	}
+}
+
+func TestQueryPathCounters(t *testing.T) {
+	s := indexStore(t)
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+
+	s.Query().Year(2013).Count()                      // indexed: one posting list
+	s.Query().Year(2013).Severity(Sev2).Count()       // indexed: two posting lists
+	s.Query().Since(1000).Until(5000).Count()         // window only → sequential scan
+	s.Query().Count()                                 // no predicate → sequential scan
+	s.Query().Since(0).Year(2013).Severity(1).Count() // window + index → indexed
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["sev_queries_indexed_total"]; got != 3 {
+		t.Errorf("indexed queries = %d, want 3", got)
+	}
+	if got := snap.Counters["sev_queries_scan_total"]; got != 2 {
+		t.Errorf("scan queries = %d, want 2", got)
+	}
+	// Posting lists observed: 1 + 2 + 2 = 5 across the indexed queries.
+	if got := snap.Histograms["sev_posting_list_size"].Count; got != 5 {
+		t.Errorf("posting list observations = %d, want 5", got)
+	}
+	if got := snap.Histograms["sev_query_candidates"].Count; got != 3 {
+		t.Errorf("candidate observations = %d, want 3", got)
+	}
+	// An un-instrumented store still answers identically.
+	s2 := indexStore(t)
+	if s2.Query().Year(2013).Count() != s.Query().Year(2013).Count() {
+		t.Error("instrumentation changed query results")
 	}
 }
 

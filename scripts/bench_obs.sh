@@ -1,0 +1,96 @@
+#!/bin/sh
+# Measure the telemetry subsystem's cost and record it in BENCH_obs.json
+# at the repo root:
+#
+#   - end-to-end wall time of dcsim and repro, uninstrumented vs with
+#     metrics (and, for dcsim, with full tracing), best of N runs;
+#   - the obs micro-benchmarks (counter/gauge/histogram/span ns/op, both
+#     live and through nil no-ops) plus the instrumented DES kernel bench.
+#
+# The guardrail is the metrics overhead: an instrumented default-scale
+# dcsim run must stay within 5% of the uninstrumented one. Full tracing is
+# recorded separately — it buys a complete event timeline and is expected
+# to cost more.
+#
+# Usage: scripts/bench_obs.sh [reps]
+set -eu
+
+cd "$(dirname "$0")/.."
+REPS="${1:-3}"
+OUT="BENCH_obs.json"
+BIN="$(mktemp -d)"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$BIN" "$WORK"' EXIT
+
+go build -o "$BIN/dcsim" ./cmd/dcsim
+go build -o "$BIN/repro" ./cmd/repro
+
+now_ms() { date +%s%N | awk '{ printf "%.3f", $1 / 1000000 }'; }
+
+time_ms() {
+	start=$(now_ms)
+	"$@" >/dev/null 2>&1
+	end=$(now_ms)
+	awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }'
+}
+
+min() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", (a == "" || b < a) ? b : a }'; }
+
+pct_over() { awk -v base="$1" -v inst="$2" 'BEGIN { printf "%.2f", (inst - base) / base * 100 }'; }
+
+# Variants are interleaved within each rep (baseline, metrics, traced,
+# baseline, …) so slow machine-load drift hits every variant alike instead
+# of biasing whichever phase ran during the busy minute; each variant's
+# best-of-REPS is then compared.
+DCSIM_BASE="" DCSIM_METRICS="" DCSIM_TRACED="" REPRO_BASE="" REPRO_METRICS=""
+i=0
+while [ "$i" -lt "$REPS" ]; do
+	echo "rep $((i + 1))/$REPS" >&2
+	DCSIM_BASE=$(min "$DCSIM_BASE" "$(time_ms "$BIN/dcsim" -seed 1 -out "$WORK/base")")
+	DCSIM_METRICS=$(min "$DCSIM_METRICS" "$(time_ms "$BIN/dcsim" -seed 1 -out "$WORK/m" -metrics-out "$WORK/metrics.json")")
+	DCSIM_TRACED=$(min "$DCSIM_TRACED" "$(time_ms "$BIN/dcsim" -seed 1 -out "$WORK/t" -trace "$WORK/trace.json")")
+	REPRO_BASE=$(min "$REPRO_BASE" "$(time_ms "$BIN/repro" -seed 1)")
+	REPRO_METRICS=$(min "$REPRO_METRICS" "$(time_ms "$BIN/repro" -seed 1 -metrics-addr 127.0.0.1:0)")
+	i=$((i + 1))
+done
+
+echo "obs micro-benchmarks" >&2
+MICRO=$(go test -run '^$' -bench 'BenchmarkObs' -benchtime 100ms ./internal/obs/ ./internal/des/ |
+	awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			names[++n] = name
+			nsop[name] = $3
+		}
+		END {
+			for (i = 1; i <= n; i++)
+				printf "    \"%s\": %s%s\n", names[i], nsop[names[i]], i < n ? "," : ""
+		}
+	')
+
+{
+	printf '{\n'
+	printf '  "goos": "%s",\n' "$(go env GOOS)"
+	printf '  "goarch": "%s",\n' "$(go env GOARCH)"
+	printf '  "reps": %s,\n' "$REPS"
+	printf '  "end_to_end_ms": {\n'
+	printf '    "dcsim_baseline": %s,\n' "$DCSIM_BASE"
+	printf '    "dcsim_metrics": %s,\n' "$DCSIM_METRICS"
+	printf '    "dcsim_traced": %s,\n' "$DCSIM_TRACED"
+	printf '    "repro_baseline": %s,\n' "$REPRO_BASE"
+	printf '    "repro_metrics": %s\n' "$REPRO_METRICS"
+	printf '  },\n'
+	printf '  "overhead_pct": {\n'
+	printf '    "dcsim_metrics": %s,\n' "$(pct_over "$DCSIM_BASE" "$DCSIM_METRICS")"
+	printf '    "dcsim_traced": %s,\n' "$(pct_over "$DCSIM_BASE" "$DCSIM_TRACED")"
+	printf '    "repro_metrics": %s\n' "$(pct_over "$REPRO_BASE" "$REPRO_METRICS")"
+	printf '  },\n'
+	printf '  "ns_per_op": {\n'
+	printf '%s\n' "$MICRO"
+	printf '  }\n'
+	printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT"
+awk '/dcsim_metrics/ && /,$/ { gsub(/[ ",]/, ""); print "  " $0 }' "$OUT" >&2
