@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-sevquery bench-obs test-obs
+.PHONY: build test vet lint race verify ci bench bench-sevquery bench-obs test-obs
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,13 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the project-invariant analyzers (cmd/dcnrlint: simdeterminism,
+# heaplock, obsnilsafe, errchecklite) and fails on any unformatted file.
+lint:
+	$(GO) run ./cmd/dcnrlint ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 
 # race runs the full suite under the race detector — the new SEV store
 # indexes must stay consistent under concurrent Add + Query.
@@ -22,9 +29,15 @@ race:
 test-obs:
 	$(GO) test -race ./internal/obs/ ./internal/des/ ./internal/remediation/ ./internal/monitor/ ./internal/sev/ ./internal/core/
 
-# verify is the tier-1 gate: vet plus the race-enabled test suite (which
-# includes the obs package and all instrumented packages).
-verify: vet race test-obs
+# verify is the tier-1 gate: vet, the static-analysis suite, and the
+# race-enabled test suite (which includes the obs package and all
+# instrumented packages).
+verify: vet lint race test-obs
+
+# ci is the ordered gate for continuous integration:
+# build -> vet -> lint -> race -> test-obs, fail-fast.
+ci:
+	./scripts/ci.sh
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 200ms .

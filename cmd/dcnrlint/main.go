@@ -1,0 +1,82 @@
+// Command dcnrlint runs the project-invariant static analysis suite
+// (internal/analyzers) over Go packages and reports findings.
+//
+// Usage:
+//
+//	dcnrlint [-C dir] [-json] [-list] [packages...]
+//
+// Packages default to ./... and accept any `go list` pattern. Exit status
+// is 0 with no findings, 1 when diagnostics were reported, and 2 on driver
+// failure (unparseable or untypeable source, go list errors).
+//
+// Findings print as file:line:col: message (analyzer); -json emits the
+// same diagnostics as a JSON array for tooling. A finding is suppressed by
+// a `//lint:allow <analyzer> [reason]` comment on the flagged line or the
+// line directly above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dcnr/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dcnrlint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	dir := fs.String("C", ".", "run as if started in this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers.All {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analyzers.Run(*dir, patterns, analyzers.All)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcnrlint: %v\n", err)
+		return 2
+	}
+	// The findings are the product: a failed write to stdout (a closed
+	// pipe under `head`, say) must not masquerade as a clean run.
+	if err := printDiags(os.Stdout, diags, *jsonOut); err != nil {
+		fmt.Fprintf(os.Stderr, "dcnrlint: writing diagnostics: %v\n", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func printDiags(w io.Writer, diags []analyzers.Diagnostic, jsonOut bool) error {
+	if jsonOut {
+		if diags == nil {
+			diags = []analyzers.Diagnostic{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(diags)
+	}
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

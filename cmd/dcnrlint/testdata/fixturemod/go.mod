@@ -1,0 +1,7 @@
+module dcnr/cmd/dcnrlint/testdata/fixturemod
+
+go 1.24
+
+require dcnr v0.0.0
+
+replace dcnr => ../../../..

@@ -1,0 +1,40 @@
+// Package sim seeds one violation per analyzer so the end-to-end test can
+// assert the driver walks go list packages, type-checks them against the
+// dcnr module, and reports every analyzer's findings with exit status 1.
+package sim
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"dcnr/internal/des"
+	"dcnr/internal/obs"
+)
+
+// Scheduler owns a mutex and a simulator but schedules unlocked
+// (heaplock) and stamps events with the wall clock (simdeterminism).
+type Scheduler struct {
+	mu  sync.Mutex
+	sim *des.Simulator
+
+	// started holds a metric by value (obsnilsafe).
+	started obs.Counter
+}
+
+// Kick schedules without the lock and reads the wall clock.
+func (s *Scheduler) Kick() {
+	s.sim.After(float64(time.Now().Unix()%10), func(float64) {})
+	s.mu.Lock()
+	s.started.Inc()
+	s.mu.Unlock()
+}
+
+// Dump discards the close error (errchecklite).
+func Dump(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Close()
+}

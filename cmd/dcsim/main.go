@@ -15,8 +15,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -62,15 +64,7 @@ func run(seed uint64, scale int, dir, metricsOut, traceOut string) error {
 		return err
 	}
 	sevPath := filepath.Join(dir, "sevs.json")
-	f, err := os.Create(sevPath)
-	if err != nil {
-		return err
-	}
-	if err := intra.Store.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeFile(sevPath, intra.Store.WriteJSON); err != nil {
 		return err
 	}
 	fmt.Printf("intra-DC: %d faults → %d SEVs (%d years) → %s\n",
@@ -85,15 +79,9 @@ func run(seed uint64, scale int, dir, metricsOut, traceOut string) error {
 		return err
 	}
 	ticketPath := filepath.Join(dir, "tickets.txt")
-	tf, err := os.Create(ticketPath)
-	if err != nil {
-		return err
-	}
-	if err := tickets.WriteAll(tf, inter.Notices); err != nil {
-		tf.Close()
-		return err
-	}
-	if err := tf.Close(); err != nil {
+	if err := writeFile(ticketPath, func(w io.Writer) error {
+		return tickets.WriteAll(w, inter.Notices)
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("backbone: %d edges, %d links, %d vendors, %d repair tickets → %s\n",
@@ -115,26 +103,24 @@ func run(seed uint64, scale int, dir, metricsOut, traceOut string) error {
 	return nil
 }
 
-func writeMetrics(path string, reg *dcnr.MetricsRegistry) error {
+// writeFile creates path, streams the dataset through write, and closes
+// the file, losing neither the write error nor the close error (a failed
+// close on a buffered filesystem is a truncated dataset).
+func writeFile(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintln(f, reg.ExpvarVar().String()); err != nil {
-		f.Close()
+	return errors.Join(write(f), f.Close())
+}
+
+func writeMetrics(path string, reg *dcnr.MetricsRegistry) error {
+	return writeFile(path, func(w io.Writer) error {
+		_, err := fmt.Fprintln(w, reg.ExpvarVar().String())
 		return err
-	}
-	return f.Close()
+	})
 }
 
 func writeTrace(path string, tr *dcnr.Tracer) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return writeFile(path, tr.WriteJSON)
 }

@@ -64,7 +64,9 @@ func run(w io.Writer, design string, units, racks int) error {
 		}
 	}
 
-	fmt.Fprintf(w, "network: %d devices, %d links\n\n", net.NumDevices(), net.NumLinks())
+	if _, err := fmt.Fprintf(w, "network: %d devices, %d links\n\n", net.NumDevices(), net.NumLinks()); err != nil {
+		return err
+	}
 
 	t := &report.Table{
 		Title:   "Layers (Figure 1)",

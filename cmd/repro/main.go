@@ -25,6 +25,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -144,7 +145,9 @@ func startMetricsServer(addr string, reg *dcnr.MetricsRegistry) (*http.Server, s
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if r := publishedRegistry.Load(); r != nil {
-			r.WritePrometheus(w)
+			// A failed write means the scraper hung up mid-response;
+			// there is no one left to report it to.
+			_ = r.WritePrometheus(w)
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -153,20 +156,22 @@ func startMetricsServer(addr string, reg *dcnr.MetricsRegistry) (*http.Server, s
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "repro: metrics server stopped: %v\n", err)
+		}
+	}()
 	return srv, ln.Addr().String(), nil
 }
 
+// writeTraceFile writes the trace to path, losing neither the write error
+// nor the close error (a failed close is a truncated trace).
 func writeTraceFile(path string, tr *dcnr.Tracer) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := tr.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return errors.Join(tr.WriteJSON(f), f.Close())
 }
 
 // runVerify prints the claims scoreboard and reports whether every claim
@@ -198,7 +203,9 @@ func runVerify(w io.Writer, d *datasets) (bool, error) {
 	if err := t.Render(w); err != nil {
 		return false, err
 	}
-	fmt.Fprintf(w, "%d/%d claims reproduced\n", countPass(results), len(results))
+	if _, err := fmt.Fprintf(w, "%d/%d claims reproduced\n", countPass(results), len(results)); err != nil {
+		return false, err
+	}
 	return allPass, nil
 }
 

@@ -1,3 +1,3 @@
 module dcnr
 
-go 1.22
+go 1.24

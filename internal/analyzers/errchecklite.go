@@ -1,0 +1,165 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheckLite flags silently discarded errors from I/O, without the full
+// generality (or noise) of errcheck: only calls whose failure genuinely
+// loses data or hides a dead serve loop are in scope.
+//
+// A call is I/O-shaped when its final result is error and any of:
+//
+//   - it is declared in an I/O package (os, io, net, bufio), e.g. a bare
+//     f.Close() or conn.Close() statement;
+//   - its signature mentions an io or net type (io.Reader/Writer,
+//     net.Conn, net.Listener, ...), which covers the project's own
+//     Store.ReadJSON/WriteJSON, Monitor.ServePacket, tickets.WriteAll and
+//     any future serve loop, wherever it is declared;
+//   - it is fmt.Fprint* writing to a fallible writer (writes to
+//     bytes.Buffer, strings.Builder, and hash.Hash never fail and are
+//     exempt).
+//
+// Flagged forms are the bare expression statement and the `go` statement
+// (a goroutine discarding a serve loop's error hides why serving
+// stopped). `defer f.Close()` is idiomatic and exempt, an explicit
+// `_ = call()` is treated as a deliberate, reviewed discard, and writes
+// directly to os.Stderr/os.Stdout are exempt — there is nowhere to report
+// their failure, and the equivalent fmt.Printf is unflaggable anyway.
+var ErrCheckLite = &Analyzer{
+	Name: "errchecklite",
+	Doc:  "I/O and serve-loop errors must be checked or explicitly discarded",
+	Run:  runErrCheckLite,
+}
+
+// ioPackages are packages whose error-returning calls are always in scope.
+var ioPackages = map[string]bool{
+	"os": true, "io": true, "net": true, "bufio": true,
+}
+
+// infallibleWriters never return a write error; fmt.Fprint* into them is
+// the standard way to build strings and hashes.
+var infallibleWriters = map[string]bool{
+	"*bytes.Buffer":      true,
+	"*strings.Builder":   true,
+	"bytes.Buffer":       true,
+	"strings.Builder":    true,
+	"hash.Hash":          true,
+	"hash.Hash32":        true,
+	"hash.Hash64":        true,
+	"*hash/maphash.Hash": true,
+}
+
+func runErrCheckLite(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call, "")
+				}
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call, " in a goroutine (the serve loop's exit reason is lost)")
+				return false
+			case *ast.DeferStmt:
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr, context string) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !lastResultIsError(sig) {
+		return
+	}
+	// Method calls on writers that never fail (a hash.Hash64's Write is
+	// io.Writer.Write by declaration, but fnv hashes cannot error).
+	if sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); okSel && isInfallibleWriter(pass, sel.X) {
+		return
+	}
+	if !ioShaped(pass, fn, sig, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error from %s discarded%s: check it or assign to _ to discard deliberately",
+		fn.Name(), context)
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	t := res.At(res.Len() - 1).Type()
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func ioShaped(pass *Pass, fn *types.Func, sig *types.Signature, call *ast.CallExpr) bool {
+	path := fn.Pkg().Path()
+	if ioPackages[path] {
+		return true
+	}
+	if path == "fmt" && isFprintName(fn.Name()) {
+		return len(call.Args) > 0 &&
+			!isInfallibleWriter(pass, call.Args[0]) && !isStdStream(pass, call.Args[0])
+	}
+	if recv := sig.Recv(); recv != nil && mentionsIONet(recv.Type()) {
+		return true
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if mentionsIONet(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isFprintName(name string) bool {
+	switch name {
+	case "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+func isInfallibleWriter(pass *Pass, arg ast.Expr) bool {
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return infallibleWriters[types.TypeString(tv.Type, nil)]
+}
+
+// isStdStream matches the expressions os.Stderr and os.Stdout.
+func isStdStream(pass *Pass, arg ast.Expr) bool {
+	sel, ok := ast.Unparen(arg).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+	return ok && v.Pkg() != nil && v.Pkg().Path() == "os" &&
+		(v.Name() == "Stderr" || v.Name() == "Stdout")
+}
+
+// mentionsIONet reports whether t is (or points to) a named type declared
+// in package io or net — the signal that a function performs real I/O.
+func mentionsIONet(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "io" || path == "net"
+}

@@ -1,0 +1,97 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsNilSafe enforces the obs package's wiring contract outside obs
+// itself: metric values come from a Registry (whose nil form hands out nil,
+// no-op metrics), are held by pointer, and are only touched through their
+// nil-safe methods. Violations this catches:
+//
+//   - constructing obs.Counter/Gauge/Histogram/Registry/Tracer with a
+//     composite literal or new(): a hand-rolled metric is invisible to
+//     every exposition path (Snapshot, expvar, Prometheus), and a
+//     zero-value Registry panics on first use.
+//   - declaring a field, variable, or parameter of value (non-pointer)
+//     metric type: copying the embedded atomics forks the metric, and a
+//     value can never be the nil no-op that uninstrumented runs rely on.
+//
+// obs.Event and the snapshot types are plain data and stay unrestricted.
+var ObsNilSafe = &Analyzer{
+	Name: "obsnilsafe",
+	Doc:  "obs metrics must come from a Registry and be held by pointer",
+	Run:  runObsNilSafe,
+}
+
+const obsPath = "dcnr/internal/obs"
+
+// obsGuardedTypes are the obs types with construction and copy rules.
+// Constructors: Registry methods for metrics, NewRegistry, NewTracer.
+var obsGuardedTypes = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"Registry": true, "Tracer": true,
+}
+
+func isObsGuarded(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != obsPath {
+		return "", false
+	}
+	name := named.Obj().Name()
+	return name, obsGuardedTypes[name]
+}
+
+func runObsNilSafe(pass *Pass) {
+	if pass.Pkg.Path() == obsPath {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if tv, ok := pass.Info.Types[n]; ok {
+					if name, guarded := isObsGuarded(tv.Type); guarded {
+						pass.Reportf(n.Pos(),
+							"obs.%s constructed directly: use %s so the metric is registered and nil-safe",
+							name, obsConstructor(name))
+					}
+				}
+			case *ast.CallExpr:
+				if isBuiltin(pass.Info, n, "new") && len(n.Args) == 1 {
+					if tv, ok := pass.Info.Types[n.Args[0]]; ok && tv.IsType() {
+						if name, guarded := isObsGuarded(tv.Type); guarded {
+							pass.Reportf(n.Pos(),
+								"new(obs.%s) bypasses the registry: use %s", name, obsConstructor(name))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Value-typed declarations: every defined field/var/param whose type is
+	// a guarded obs type held by value.
+	for ident, obj := range pass.Info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok {
+			continue
+		}
+		if name, guarded := isObsGuarded(v.Type()); guarded {
+			pass.Reportf(ident.Pos(),
+				"%s holds obs.%s by value: declare *obs.%s (values copy atomics and can never be the nil no-op)",
+				ident.Name, name, name)
+		}
+	}
+}
+
+func obsConstructor(name string) string {
+	switch name {
+	case "Registry":
+		return "obs.NewRegistry"
+	case "Tracer":
+		return "obs.NewTracer"
+	}
+	return "Registry." + name
+}

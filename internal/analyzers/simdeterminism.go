@@ -1,0 +1,221 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimDeterminism enforces the reproducibility invariant of the simulation:
+// the same seed must yield bit-for-bit identical output. It applies to the
+// DES kernel, the simrand package, and every package that imports either —
+// those are exactly the packages whose behaviour feeds simulated results.
+//
+// Banned inside that scope:
+//
+//   - wall-clock reads (time.Now, time.Since, timers, sleeps): simulation
+//     time comes from des.Simulator.Now. Wall-clock telemetry (obs trace
+//     lanes, handler-cost histograms) is legitimate — mark those sites
+//     with //lint:allow simdeterminism.
+//   - math/rand and math/rand/v2: their global source is seeded from the
+//     wall clock and their sequences are not stable across Go releases;
+//     dcnr/internal/simrand is the project's deterministic source.
+//   - output built in map iteration order: appends, prints, and channel
+//     sends inside a range-over-map whose order escapes the loop. Sorting
+//     the built slice afterwards (in the same function) clears the flag.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc:  "ban wall-clock, math/rand, and map-ordered output in simulation packages",
+	Run:  runSimDeterminism,
+}
+
+// simPackages are the roots of the deterministic scope: the DES kernel and
+// the seeded randomness source. A package is in scope if it is one of
+// these or directly imports one.
+var simPackages = map[string]bool{
+	"dcnr/internal/des":     true,
+	"dcnr/internal/simrand": true,
+}
+
+// bannedTimeFuncs are the wall-clock entry points of package time.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func inSimScope(pkg *types.Package) bool {
+	if simPackages[pkg.Path()] {
+		return true
+	}
+	for _, imp := range pkg.Imports() {
+		if simPackages[imp.Path()] {
+			return true
+		}
+	}
+	return false
+}
+
+func runSimDeterminism(pass *Pass) {
+	if !inSimScope(pass.Pkg) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			switch imp.Path.Value {
+			case `"math/rand"`, `"math/rand/v2"`:
+				pass.Reportf(imp.Pos(),
+					"import of %s in simulation code: use dcnr/internal/simrand (seeded, version-stable streams)",
+					imp.Path.Value)
+			}
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSimFunc(pass, fn)
+		}
+	}
+}
+
+func checkSimFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeFunc(pass.Info, n)
+			if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "time" &&
+				bannedTimeFuncs[callee.Name()] {
+				pass.Reportf(n.Pos(),
+					"wall clock in simulation code: time.%s (simulation time is des.Simulator.Now; for wall-clock telemetry add //lint:allow simdeterminism)",
+					callee.Name())
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					checkMapRange(pass, fn, n)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRange flags order-dependent sinks inside a range over a map:
+// appends to a slice that is never sorted in the enclosing function,
+// direct printing, and channel sends.
+func checkMapRange(pass *Pass, fn *ast.FuncDecl, loop *ast.RangeStmt) {
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(pass.Info, call, "append") || i >= len(n.Lhs) {
+					continue
+				}
+				root := rootIdent(n.Lhs[i])
+				if root == nil || sortedLater(pass, fn, root) {
+					continue
+				}
+				pass.Reportf(n.Pos(),
+					"%s is built in map iteration order and never sorted in %s; sort it or iterate sorted keys",
+					exprString(n.Lhs[i]), fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			if callee := calleeFunc(pass.Info, n); callee != nil && callee.Pkg() != nil &&
+				callee.Pkg().Path() == "fmt" && isPrintName(callee.Name()) {
+				pass.Reportf(n.Pos(),
+					"fmt.%s inside a range over a map emits output in map iteration order", callee.Name())
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside a range over a map delivers values in map iteration order")
+		}
+		return true
+	})
+}
+
+func isPrintName(name string) bool {
+	switch name {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// rootIdent returns the leftmost identifier of an lvalue (x, x.f, x[i].f).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedLater reports whether the enclosing function passes anything
+// rooted at the same object as root to a sort.* or slices.Sort* call.
+func sortedLater(pass *Pass, fn *ast.FuncDecl, root *ast.Ident) bool {
+	obj := pass.Info.Uses[root]
+	if obj == nil {
+		obj = pass.Info.Defs[root]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		callee := calleeFunc(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if path := callee.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// exprString renders a short lvalue (best effort, for messages only).
+func exprString(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	}
+	return "value"
+}

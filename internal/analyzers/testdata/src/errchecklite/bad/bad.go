@@ -1,0 +1,40 @@
+// Package bad silently discards exactly the I/O errors errchecklite is
+// scoped to: dataset writes, closes, and serve-loop exits.
+package bad
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+)
+
+// Save loses both the write error and the close error: a full disk yields
+// a truncated dataset and a clean exit status.
+func Save(path string, data []byte) {
+	f, _ := os.Create(path)
+	f.Write(data)
+	f.Close()
+}
+
+// Render drops the write error on an arbitrary (fallible) writer.
+func Render(w io.Writer, devices int) {
+	fmt.Fprintf(w, "%d devices\n", devices)
+}
+
+// Serve discards the loop's exit reason in a goroutine: when serving
+// stops, nothing records why.
+func Serve(conn net.PacketConn, handle func([]byte)) {
+	go serveLoop(conn, handle)
+}
+
+func serveLoop(conn net.PacketConn, handle func([]byte)) error {
+	buf := make([]byte, 512)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			return err
+		}
+		handle(buf[:n])
+	}
+}

@@ -1,0 +1,69 @@
+// Package good handles or deliberately discards every I/O error form the
+// analyzer recognizes.
+package good
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+)
+
+// Save propagates write and close failures.
+func Save(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // the write error takes precedence
+		return err
+	}
+	return f.Close()
+}
+
+// Describe builds a string through an infallible writer: exempt.
+func Describe(n int) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%d devices\n", n)
+	return b.String()
+}
+
+// Warn writes diagnostics to stderr, where a failure has nowhere to be
+// reported anyway: exempt.
+func Warn(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+}
+
+// Serve surfaces the serve loop's exit reason on a channel.
+func Serve(conn net.PacketConn, handle func([]byte)) <-chan error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- serveLoop(conn, handle)
+	}()
+	return errc
+}
+
+func serveLoop(conn net.PacketConn, handle func([]byte)) error {
+	buf := make([]byte, 512)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			return err
+		}
+		handle(buf[:n])
+	}
+}
+
+// Cleanup uses the idiomatic (exempt) deferred close on a read path.
+func Cleanup(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	_, err = io.ReadFull(f, buf[:])
+	return err
+}

@@ -1,0 +1,34 @@
+// Package bad mutates a shared des.Simulator outside the owning mutex —
+// the race class heaplock exists to catch.
+package bad
+
+import (
+	"sync"
+
+	"dcnr/internal/des"
+)
+
+// Engine owns a mutex and a simulator, so every heap mutation in its
+// methods must hold the mutex.
+type Engine struct {
+	mu    sync.Mutex
+	sim   *des.Simulator
+	count int
+}
+
+// Submit schedules before taking the lock: concurrent submitters race
+// inside container/heap.
+func (e *Engine) Submit(done func()) {
+	e.sim.After(0, func(float64) { done() })
+	e.mu.Lock()
+	e.count++
+	e.mu.Unlock()
+}
+
+// Drain releases the lock and then runs the simulator.
+func (e *Engine) Drain() {
+	e.mu.Lock()
+	e.count = 0
+	e.mu.Unlock()
+	e.sim.Run(24)
+}

@@ -1,0 +1,40 @@
+// Package good holds the mutex across every simulator mutation, the
+// post-PR-2 remediation.Engine discipline.
+package good
+
+import (
+	"sync"
+
+	"dcnr/internal/des"
+)
+
+// Engine owns a mutex and a simulator.
+type Engine struct {
+	mu    sync.Mutex
+	sim   *des.Simulator
+	count int
+}
+
+// Submit locks before touching the heap; the deferred unlock keeps the
+// lock held through the After call.
+func (e *Engine) Submit(done func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.count++
+	e.sim.After(0, func(float64) { done() })
+}
+
+// Reset locks and unlocks explicitly around the mutation.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	e.sim.Halt()
+	e.count = 0
+	e.mu.Unlock()
+}
+
+// scheduleLocked is a helper whose callers hold e.mu, the documented
+// escape hatch.
+func (e *Engine) scheduleLocked(at float64, h des.Handler) {
+	//lint:allow heaplock caller holds e.mu
+	e.sim.After(at, h)
+}

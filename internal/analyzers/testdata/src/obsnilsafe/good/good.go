@@ -1,0 +1,26 @@
+// Package good wires metrics through the Registry and holds them by
+// pointer, so a nil registry yields nil, no-op metrics end to end.
+package good
+
+import "dcnr/internal/obs"
+
+// Collector reports through registry-owned metrics.
+type Collector struct {
+	events  *obs.Counter
+	backlog *obs.Gauge
+}
+
+// NewCollector registers the metrics; reg may be nil for uninstrumented
+// runs, which hands out nil (no-op) metrics.
+func NewCollector(reg *obs.Registry) *Collector {
+	return &Collector{
+		events:  reg.Counter("events_total"),
+		backlog: reg.Gauge("backlog"),
+	}
+}
+
+// Record goes through the nil-safe methods only.
+func (c *Collector) Record(depth float64) {
+	c.events.Inc()
+	c.backlog.Set(depth)
+}

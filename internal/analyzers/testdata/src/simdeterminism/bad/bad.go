@@ -1,0 +1,44 @@
+// Package bad exercises every simdeterminism violation: wall-clock reads,
+// the math/rand global source, and map-iteration-ordered output, in a
+// package that imports the DES kernel (which puts it in simulation scope).
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dcnr/internal/des"
+)
+
+// Timestamp stamps an event with the wall clock instead of simulation time.
+func Timestamp(sim *des.Simulator) float64 {
+	t := time.Now()
+	return float64(t.Unix()) + sim.Now()
+}
+
+// Jitter draws delays from the global math/rand source.
+func Jitter() float64 { return rand.Float64() }
+
+// Names returns device names in map iteration order.
+func Names(devices map[string]int) []string {
+	var out []string
+	for name := range devices {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Dump prints directly while ranging over a map.
+func Dump(devices map[string]int) {
+	for name, n := range devices {
+		fmt.Println(name, n)
+	}
+}
+
+// Stream sends map entries on ch in iteration order.
+func Stream(devices map[string]int, ch chan string) {
+	for name := range devices {
+		ch <- name
+	}
+}

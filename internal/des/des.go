@@ -104,9 +104,9 @@ func (s *Simulator) fire(next *Event) {
 		next.handler(s.now)
 		return
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow simdeterminism wall-clock telemetry, not simulation state
 	next.handler(s.now)
-	wall := time.Since(start)
+	wall := time.Since(start) //lint:allow simdeterminism wall-clock telemetry, not simulation state
 	if s.mFired != nil {
 		s.mFired.Inc()
 		s.gQueue.Set(float64(len(s.queue)))

@@ -58,7 +58,7 @@ func (s *Server) Start(addr string) (string, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		ln.Close()
+		_ = ln.Close() // the "server closed" error is the one that matters
 		return "", errors.New("notify: server closed")
 	}
 	s.ln = ln
@@ -94,7 +94,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // shutting down; the accept loop exits either way
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -173,15 +173,18 @@ func (s *Server) Received() int {
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	var err error
 	if s.ln != nil {
-		s.ln.Close()
+		err = s.ln.Close()
 	}
 	for conn := range s.conns {
-		conn.Close()
+		// Peers may already have hung up; a failed listener close is the
+		// only error worth surfacing.
+		_ = conn.Close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	return nil
+	return err
 }
 
 // Client is a vendor-side sender.

@@ -1,0 +1,32 @@
+#!/bin/sh
+# The CI gate, fail-fast and in dependency order: cheap structural checks
+# before expensive dynamic ones.
+#
+#   1. build     - everything compiles
+#   2. vet       - stock go vet
+#   3. lint      - cmd/dcnrlint project invariants + gofmt cleanliness
+#   4. race      - full test suite under the race detector
+#   5. test-obs  - focused race pass over telemetry + instrumented paths
+#
+# Steps 3-5 are the layered defense for the PR-2 race class: heaplock
+# flags unlocked DES-heap scheduling statically, and the remediation
+# concurrency tests catch it dynamically under -race.
+#
+# Usage: scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+step() {
+	echo "==> ci: $1"
+	shift
+	"$@"
+}
+
+step build make build
+step vet make vet
+step lint make lint
+step race make race
+step test-obs make test-obs
+
+echo "==> ci: all gates passed"
