@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify ci bench bench-sevquery bench-obs test-obs
+.PHONY: build test vet lint race verify ci bench bench-sevquery bench-obs bench-health test-obs test-health
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,14 @@ race:
 # path: lock-free metric updates and concurrent trace emission must stay
 # clean under the race detector.
 test-obs:
-	$(GO) test -race ./internal/obs/ ./internal/des/ ./internal/remediation/ ./internal/monitor/ ./internal/sev/ ./internal/core/
+	$(GO) test -race ./internal/obs/ ./internal/obs/health/ ./internal/des/ ./internal/remediation/ ./internal/monitor/ ./internal/sev/ ./internal/core/
+
+# test-health race-tests the streaming SLO engine and its end-to-end
+# wiring: the engine package itself plus the facade scenarios (elevated
+# burn drill, calibrated quiet run, backbone edge signal, report format).
+test-health:
+	$(GO) test -race ./internal/obs/health/ ./internal/notify/
+	$(GO) test -race -run 'TestHealth|TestSLO|TestBackboneHealth' .
 
 # verify is the tier-1 gate: vet, the static-analysis suite, and the
 # race-enabled test suite (which includes the obs package and all
@@ -52,3 +59,10 @@ bench-sevquery:
 # in BENCH_obs.json. The end-to-end overhead must stay under 5%.
 bench-obs:
 	./scripts/bench_obs.sh
+
+# bench-health measures the SLO/health engine: micro-benchmarks plus
+# end-to-end dcsim runs with and without -health-out (and with structured
+# logging), recorded in BENCH_health.json. The engine overhead must stay
+# under 5%.
+bench-health:
+	./scripts/bench_health.sh

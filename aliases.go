@@ -6,10 +6,16 @@ package dcnr
 // and the internal implementations.
 
 import (
+	"io"
+	"log/slog"
+
 	"dcnr/internal/backbone"
 	"dcnr/internal/core"
+	"dcnr/internal/faults"
 	"dcnr/internal/fleet"
+	"dcnr/internal/notify"
 	"dcnr/internal/obs"
+	"dcnr/internal/obs/health"
 	"dcnr/internal/remediation"
 	"dcnr/internal/sev"
 	"dcnr/internal/stats"
@@ -229,3 +235,66 @@ type TraceEvent = obs.Event
 
 // NewTracer returns a tracer whose wall clock starts now.
 func NewTracer() *Tracer { return obs.NewTracer() }
+
+// HealthEngine is the streaming SLO evaluator: it consumes the
+// simulation's fault/repair/incident stream, computes rolling-window
+// incident rates, MTBF/MTTR estimates, and error-budget burn rates against
+// calibration targets, and runs declarative alert rules through a
+// pending→firing→resolved state machine. A nil *HealthEngine is a valid
+// no-op. Pass one through IntraConfig.Health / BackboneConfig.Health.
+type HealthEngine = health.Engine
+
+// HealthTargets holds the calibration-derived SLO objectives a
+// HealthEngine evaluates against.
+type HealthTargets = health.Targets
+
+// HealthRule is one declarative alert condition (signal, multi-window
+// thresholds, for-duration).
+type HealthRule = health.Rule
+
+// SLOReport is a point-in-time health summary: per-device-type statistics,
+// rule states, and the alert transition history. JSON-serializable.
+type SLOReport = health.SLOReport
+
+// HealthSink receives one text line per alert transition. NotifyRecorder
+// and the internal notify client both satisfy it.
+type HealthSink = health.Sink
+
+// NotifyRecorder is an in-memory HealthSink that accumulates alert
+// notifications for post-run inspection.
+type NotifyRecorder = notify.Recorder
+
+// NewHealthEngine returns an engine evaluating rules against targets
+// (nil/empty rules means DefaultHealthRules()).
+func NewHealthEngine(targets HealthTargets, rules []HealthRule) (*HealthEngine, error) {
+	return health.New(targets, rules)
+}
+
+// HealthTargetsForScale derives SLO targets from the same calibration
+// tables that shape the generator, for a fleet at the given scale.
+func HealthTargetsForScale(scale int) HealthTargets {
+	if scale < 1 {
+		scale = 1
+	}
+	return faults.HealthTargets(fleet.New(scale))
+}
+
+// DefaultHealthRules returns the standard intra-DC rule set: SRE-style
+// fast and slow incident burn-rate rules plus an MTTR-degradation rule.
+func DefaultHealthRules() []HealthRule { return health.DefaultRules() }
+
+// EdgeHealthRules returns the backbone edge-availability rule set
+// (requires HealthTargets.EdgeAvailability to be set).
+func EdgeHealthRules() []HealthRule { return health.EdgeRules() }
+
+// NewSimLogHandler returns a log/slog handler writing structured records
+// (format "text" or "json") that carry both clocks: slog's wall-clock
+// timestamp plus a sim_hours attribute taken from the record itself or,
+// absent that, from the registry's des_sim_hours gauge. Pass
+// reg.Gauge("des_sim_hours") as sim (or nil to disable the fallback).
+func NewSimLogHandler(w io.Writer, format string, level slog.Leveler, sim *obs.Gauge) (slog.Handler, error) {
+	return obs.NewSimHandler(w, format, level, sim)
+}
+
+// ParseLogLevel maps "debug", "info", "warn", or "error" to a slog.Level.
+func ParseLogLevel(s string) (slog.Level, error) { return obs.ParseLogLevel(s) }

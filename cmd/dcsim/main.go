@@ -6,12 +6,23 @@
 // Usage:
 //
 //	dcsim [-seed N] [-scale N] [-out DIR] [-metrics-out FILE] [-trace FILE]
+//	      [-health-out FILE] [-log-level LEVEL] [-log-format text|json]
+//	      [-elevate-year YEAR] [-elevate-factor F]
 //
 // Outputs: DIR/sevs.json (the SEV dataset) and DIR/tickets.txt (the vendor
 // notice archive). With -metrics-out, a JSON snapshot of the simulation's
 // metrics (event counts, remediation queue histograms, query-path counters)
 // is written to FILE; with -trace, a Chrome trace-event file loadable in
 // chrome://tracing or Perfetto.
+//
+// With -health-out, a streaming SLO engine follows the intra-DC run —
+// incident burn rates, MTTR degradation, alert rule transitions — and its
+// final report is written to FILE as JSON. With -log-level, structured logs
+// go to stderr carrying both the wall clock and the simulation clock
+// (sim_hours); -log-format picks text or JSON records. The -elevate-year /
+// -elevate-factor pair multiplies fault rates for one calendar year, which
+// drives the health rules through their pending→firing→resolved lifecycle —
+// useful for alert-pipeline drills.
 package main
 
 import (
@@ -19,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 
@@ -27,43 +39,91 @@ import (
 )
 
 func main() {
-	var (
-		seed       = flag.Uint64("seed", 20181031, "simulation seed")
-		scale      = flag.Int("scale", 1, "fleet population scale")
-		out        = flag.String("out", ".", "output directory")
-		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file")
-		traceOut   = flag.String("trace", "", "write a Chrome trace-event file to this file")
-	)
+	var o options
+	flag.Uint64Var(&o.seed, "seed", 20181031, "simulation seed")
+	flag.IntVar(&o.scale, "scale", 1, "fleet population scale")
+	flag.StringVar(&o.dir, "out", ".", "output directory")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write a JSON metrics snapshot to this file")
+	flag.StringVar(&o.traceOut, "trace", "", "write a Chrome trace-event file to this file")
+	flag.StringVar(&o.healthOut, "health-out", "", "run the SLO/health engine and write its report to this file")
+	flag.StringVar(&o.logLevel, "log-level", "", "enable structured logs to stderr at this level (debug, info, warn, error)")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log format: text or json")
+	flag.IntVar(&o.elevateYear, "elevate-year", 0, "multiply intra-DC fault rates during this calendar year")
+	flag.Float64Var(&o.elevateFactor, "elevate-factor", 0, "fault-rate multiplier applied in -elevate-year")
 	flag.Parse()
-	if err := run(*seed, *scale, *out, *metricsOut, *traceOut); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dcsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, scale int, dir, metricsOut, traceOut string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// options collects every dcsim knob; the zero value plus seed/scale/dir is
+// a plain uninstrumented run.
+type options struct {
+	seed          uint64
+	scale         int
+	dir           string
+	metricsOut    string
+	traceOut      string
+	healthOut     string
+	logLevel      string
+	logFormat     string
+	elevateYear   int
+	elevateFactor float64
+	logW          io.Writer // log destination; nil means os.Stderr
+}
+
+func run(o options) error {
+	if err := os.MkdirAll(o.dir, 0o755); err != nil {
 		return err
 	}
 
-	// Telemetry is opt-in: uninstrumented runs keep nil registry/tracer,
-	// which the simulation hot paths treat as zero-cost no-ops.
+	// Telemetry is opt-in: uninstrumented runs keep nil registry/tracer/
+	// engine/logger, which the simulation hot paths treat as zero-cost
+	// no-ops. Logging needs the registry too: the handler reads the
+	// des_sim_hours gauge to stamp records with the simulation clock.
 	var reg *dcnr.MetricsRegistry
-	var tracer *dcnr.Tracer
-	if metricsOut != "" {
+	if o.metricsOut != "" || o.logLevel != "" {
 		reg = dcnr.NewMetricsRegistry()
 	}
-	if traceOut != "" {
+	var tracer *dcnr.Tracer
+	if o.traceOut != "" {
 		tracer = dcnr.NewTracer()
+	}
+	var health *dcnr.HealthEngine
+	if o.healthOut != "" {
+		var err error
+		health, err = dcnr.NewHealthEngine(dcnr.HealthTargetsForScale(o.scale), nil)
+		if err != nil {
+			return err
+		}
+	}
+	var logger *slog.Logger
+	if o.logLevel != "" {
+		level, err := dcnr.ParseLogLevel(o.logLevel)
+		if err != nil {
+			return err
+		}
+		w := o.logW
+		if w == nil {
+			w = os.Stderr
+		}
+		h, err := dcnr.NewSimLogHandler(w, o.logFormat, level, reg.Gauge("des_sim_hours"))
+		if err != nil {
+			return err
+		}
+		logger = slog.New(h)
 	}
 
 	intra, err := dcnr.SimulateIntraDC(dcnr.IntraConfig{
-		Seed: seed, Scale: scale, Metrics: reg, Trace: tracer,
+		Seed: o.seed, Scale: o.scale, Metrics: reg, Trace: tracer,
+		Health: health, Logger: logger,
+		ElevateYear: o.elevateYear, ElevateFactor: o.elevateFactor,
 	})
 	if err != nil {
 		return err
 	}
-	sevPath := filepath.Join(dir, "sevs.json")
+	sevPath := filepath.Join(o.dir, "sevs.json")
 	if err := writeFile(sevPath, intra.Store.WriteJSON); err != nil {
 		return err
 	}
@@ -71,14 +131,14 @@ func run(seed uint64, scale int, dir, metricsOut, traceOut string) error {
 		intra.Faults, intra.Incidents, dcnr.LastYear-dcnr.FirstYear+1, sevPath)
 
 	cfg := dcnr.DefaultBackboneConfig()
-	cfg.Seed = seed
+	cfg.Seed = o.seed
 	cfg.Metrics = reg
 	cfg.Trace = tracer
 	inter, err := dcnr.SimulateBackbone(cfg)
 	if err != nil {
 		return err
 	}
-	ticketPath := filepath.Join(dir, "tickets.txt")
+	ticketPath := filepath.Join(o.dir, "tickets.txt")
 	if err := writeFile(ticketPath, func(w io.Writer) error {
 		return tickets.WriteAll(w, inter.Notices)
 	}); err != nil {
@@ -88,17 +148,25 @@ func run(seed uint64, scale int, dir, metricsOut, traceOut string) error {
 		len(inter.Topology.Edges), len(inter.Topology.Links), len(inter.Topology.Vendors),
 		len(inter.Notices), ticketPath)
 
-	if metricsOut != "" {
-		if err := writeMetrics(metricsOut, reg); err != nil {
+	if o.healthOut != "" {
+		if err := writeFile(o.healthOut, health.WriteJSON); err != nil {
 			return err
 		}
-		fmt.Printf("metrics: %s\n", metricsOut)
+		rep := health.Report()
+		fmt.Printf("health: healthy=%v, %d alert transitions → %s\n",
+			rep.Healthy, len(rep.Transitions), o.healthOut)
 	}
-	if traceOut != "" {
-		if err := writeTrace(traceOut, tracer); err != nil {
+	if o.metricsOut != "" {
+		if err := writeMetrics(o.metricsOut, reg); err != nil {
 			return err
 		}
-		fmt.Printf("trace: %d events → %s\n", tracer.Len(), traceOut)
+		fmt.Printf("metrics: %s\n", o.metricsOut)
+	}
+	if o.traceOut != "" {
+		if err := writeTrace(o.traceOut, tracer); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events → %s\n", tracer.Len(), o.traceOut)
 	}
 	return nil
 }

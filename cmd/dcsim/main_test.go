@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"dcnr"
@@ -11,7 +13,7 @@ import (
 
 func TestRunWritesDatasets(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(3, 1, dir, "", ""); err != nil {
+	if err := run(options{seed: 3, scale: 1, dir: dir}); err != nil {
 		t.Fatal(err)
 	}
 	// The SEV dataset loads back and covers the study period.
@@ -38,8 +40,18 @@ func TestRunWritesDatasets(t *testing.T) {
 }
 
 func TestRunBadDirectory(t *testing.T) {
-	if err := run(1, 1, "/dev/null/not-a-dir", "", ""); err == nil {
+	if err := run(options{seed: 1, scale: 1, dir: "/dev/null/not-a-dir"}); err == nil {
 		t.Error("invalid output directory accepted")
+	}
+}
+
+func TestRunRejectsBadLogFlags(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(options{seed: 1, scale: 1, dir: dir, logLevel: "loud"}); err == nil {
+		t.Error("invalid log level accepted")
+	}
+	if err := run(options{seed: 1, scale: 1, dir: dir, logLevel: "info", logFormat: "yaml"}); err == nil {
+		t.Error("invalid log format accepted")
 	}
 }
 
@@ -47,7 +59,7 @@ func TestRunWritesMetricsAndTrace(t *testing.T) {
 	dir := t.TempDir()
 	metricsPath := filepath.Join(dir, "metrics.json")
 	tracePath := filepath.Join(dir, "trace.json")
-	if err := run(3, 1, dir, metricsPath, tracePath); err != nil {
+	if err := run(options{seed: 3, scale: 1, dir: dir, metricsOut: metricsPath, traceOut: tracePath}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -102,5 +114,70 @@ func TestRunWritesMetricsAndTrace(t *testing.T) {
 		if !phases[ph] {
 			t.Errorf("trace has no %q events (phases seen: %v)", ph, phases)
 		}
+	}
+}
+
+// TestRunHealthOutAndStructuredLogs is the end-to-end alert drill: an
+// elevated-fault-rate run must leave a firing transition in the -health-out
+// report, and the structured logs must be JSON records carrying both
+// clocks.
+func TestRunHealthOutAndStructuredLogs(t *testing.T) {
+	dir := t.TempDir()
+	healthPath := filepath.Join(dir, "health.json")
+	var logBuf bytes.Buffer
+	err := run(options{
+		seed: 7, scale: 1, dir: dir,
+		healthOut: healthPath,
+		logLevel:  "info", logFormat: "json", logW: &logBuf,
+		elevateYear: 2014, elevateFactor: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(healthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep dcnr.SLOReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("health report is not valid JSON: %v", err)
+	}
+	fired := false
+	for _, tr := range rep.Transitions {
+		if tr.To == "firing" {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Errorf("elevated run produced no firing transition: %+v", rep.Transitions)
+	}
+	if len(rep.Types) == 0 {
+		t.Error("health report has no per-type statistics")
+	}
+
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no structured logs emitted")
+	}
+	sawSimClock := false
+	for _, line := range lines {
+		var rec struct {
+			Time     string  `json:"time"`
+			Msg      string  `json:"msg"`
+			SimHours float64 `json:"sim_hours"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, line)
+		}
+		if rec.Time == "" {
+			t.Fatalf("log line lost the wall clock: %s", line)
+		}
+		if rec.SimHours > 0 {
+			sawSimClock = true
+		}
+	}
+	if !sawSimClock {
+		t.Error("no log line carried the simulation clock")
 	}
 }

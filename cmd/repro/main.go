@@ -17,8 +17,10 @@
 //
 // -metrics-addr serves runtime introspection over HTTP for the duration of
 // the run: /debug/vars (expvar, including the simulation's metrics under
-// "dcnr"), /metrics (Prometheus text format), and /debug/pprof/ (the
-// standard profiling endpoints). -trace records a Chrome trace-event file
+// "dcnr"), /metrics (Prometheus text format), /healthz (200 while no SLO
+// alert rule is firing, 503 otherwise), /slo (the streaming health engine's
+// full JSON report), and /debug/pprof/ (the standard profiling endpoints).
+// -trace records a Chrome trace-event file
 // covering the simulation's hot paths and every analysis task, loadable in
 // chrome://tracing or Perfetto.
 package main
@@ -77,13 +79,19 @@ func main() {
 	d := &datasets{seed: *seed, scale: *scale}
 	if *metricsAddr != "" {
 		d.metrics = dcnr.NewMetricsRegistry()
-		srv, addr, err := startMetricsServer(*metricsAddr, d.metrics)
+		eng, err := dcnr.NewHealthEngine(dcnr.HealthTargetsForScale(*scale), nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		d.health = eng
+		srv, addr, err := startMetricsServer(*metricsAddr, d.metrics, d.health)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "repro:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "repro: introspection on http://%s (/debug/vars, /metrics, /debug/pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "repro: introspection on http://%s (/debug/vars, /metrics, /healthz, /slo, /debug/pprof/)\n", addr)
 	}
 	if *traceOut != "" {
 		d.trace = dcnr.NewTracer()
@@ -124,9 +132,11 @@ var (
 // startMetricsServer serves runtime introspection on addr until the
 // returned server is closed: /debug/vars (expvar with the simulation's
 // metrics published under "dcnr"), /metrics (Prometheus text exposition),
-// and /debug/pprof/ (the net/http/pprof endpoints). It returns the bound
+// /healthz and /slo (the SLO engine's liveness verdict and full JSON
+// report; eng may be nil, which reads as permanently healthy), and
+// /debug/pprof/ (the net/http/pprof endpoints). It returns the bound
 // address so callers can pass ":0" and discover the port.
-func startMetricsServer(addr string, reg *dcnr.MetricsRegistry) (*http.Server, string, error) {
+func startMetricsServer(addr string, reg *dcnr.MetricsRegistry, eng *dcnr.HealthEngine) (*http.Server, string, error) {
 	publishedRegistry.Store(reg)
 	publishOnce.Do(func() {
 		expvar.Publish("dcnr", expvar.Func(func() any {
@@ -149,6 +159,26 @@ func startMetricsServer(addr string, reg *dcnr.MetricsRegistry) (*http.Server, s
 			// there is no one left to report it to.
 			_ = r.WritePrometheus(w)
 		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// As with /metrics, a failed write means the prober hung up.
+		rep := eng.Report()
+		if rep.Healthy {
+			_, _ = fmt.Fprintln(w, "ok")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		for _, rs := range rep.Rules {
+			if rs.State == "firing" {
+				_, _ = fmt.Fprintf(w, "firing: %s\n", rs.Name)
+			}
+		}
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// Same contract as /metrics: a failed write is the scraper's
+		// hang-up, not ours.
+		_ = eng.WriteJSON(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -227,9 +257,11 @@ type datasets struct {
 	scale int
 
 	// metrics and trace, when non-nil, instrument the shared dataset
-	// builds (and, for trace, the analysis fan-out in runAll).
+	// builds (and, for trace, the analysis fan-out in runAll). health
+	// streams SLO state out of the intra-DC build for /healthz and /slo.
 	metrics *dcnr.MetricsRegistry
 	trace   *dcnr.Tracer
+	health  *dcnr.HealthEngine
 
 	intraOnce sync.Once
 	intra     *dcnr.IntraResult
@@ -244,6 +276,7 @@ func (d *datasets) intraDC() (*dcnr.IntraResult, error) {
 	d.intraOnce.Do(func() {
 		d.intra, d.intraErr = dcnr.SimulateIntraDC(dcnr.IntraConfig{
 			Seed: d.seed, Scale: d.scale, Metrics: d.metrics, Trace: d.trace,
+			Health: d.health,
 		})
 	})
 	return d.intra, d.intraErr

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
@@ -98,7 +99,11 @@ func TestRunAllAndVerify(t *testing.T) {
 func TestMetricsServerEndpoints(t *testing.T) {
 	reg := dcnr.NewMetricsRegistry()
 	reg.Counter("repro_test_total").Add(7)
-	srv, addr, err := startMetricsServer("127.0.0.1:0", reg)
+	eng, err := dcnr.NewHealthEngine(dcnr.HealthTargetsForScale(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr, err := startMetricsServer("127.0.0.1:0", reg, eng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,12 +135,28 @@ func TestMetricsServerEndpoints(t *testing.T) {
 	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
 	}
+	// An idle engine with no rule firing answers healthy, and /slo serves
+	// the engine's JSON report.
+	if body := get("/healthz"); !strings.Contains(body, "ok") {
+		t.Errorf("/healthz not ok for quiet engine:\n%s", body)
+	}
+	var rep dcnr.SLOReport
+	if err := json.Unmarshal([]byte(get("/slo")), &rep); err != nil {
+		t.Errorf("/slo is not a JSON SLO report: %v", err)
+	}
+	if !rep.Healthy {
+		t.Error("/slo reports unhealthy for a quiet engine")
+	}
+	if len(rep.Rules) == 0 {
+		t.Error("/slo report lists no rules")
+	}
 
 	// A second server (tests and reruns) re-points the shared expvar at
-	// the new registry instead of panicking on a duplicate publish.
+	// the new registry instead of panicking on a duplicate publish. A nil
+	// engine reads as permanently healthy.
 	reg2 := dcnr.NewMetricsRegistry()
 	reg2.Counter("repro_second_total").Inc()
-	srv2, addr2, err := startMetricsServer("127.0.0.1:0", reg2)
+	srv2, addr2, err := startMetricsServer("127.0.0.1:0", reg2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,7 @@ package dcnr
 
 import (
 	"fmt"
+	"log/slog"
 
 	"dcnr/internal/backbone"
 	"dcnr/internal/core"
@@ -62,6 +63,24 @@ type IntraConfig struct {
 	// result with Tracer.WriteJSON and load it in chrome://tracing or
 	// Perfetto.
 	Trace *Tracer
+	// Health, when non-nil, receives every fault, repair, and incident
+	// and is evaluated on a daily sim-time tick, judging the run against
+	// its calibration targets live (burn-rate alert rules, MTBF/MTTR
+	// estimates). Build one with NewHealthEngine(HealthTargetsForScale(
+	// cfg.Scale), nil). See the Health/SLO section of README.md.
+	Health *HealthEngine
+	// Logger, when non-nil, receives structured records from the DES
+	// kernel (debug), the remediation engine (debug), the faults driver
+	// (incidents at info), and the health engine's alert transitions —
+	// each carrying the simulation clock. Build the handler with
+	// NewSimLogHandler so records carry the wall clock too.
+	Logger *slog.Logger
+	// ElevateYear and ElevateFactor (> 1) multiply the fault arrival
+	// rate of one simulated year while health targets stay at
+	// calibration — the anomaly-injection scenario that drives burn-rate
+	// alerts through pending→firing→resolved. Zero values disable it.
+	ElevateYear   int
+	ElevateFactor float64
 }
 
 // IntraResult carries the generated dataset and its analysis handles.
@@ -101,6 +120,15 @@ func SimulateIntraDC(cfg IntraConfig) (*IntraResult, error) {
 		driver.Engine.SetEnabled(false)
 	}
 	driver.Instrument(cfg.Metrics, cfg.Trace)
+	driver.ElevateYear, driver.ElevateFactor = cfg.ElevateYear, cfg.ElevateFactor
+	if cfg.Health != nil {
+		cfg.Health.Instrument(cfg.Metrics)
+		driver.SetHealth(cfg.Health)
+	}
+	if cfg.Logger != nil {
+		driver.SetLogger(cfg.Logger)
+		cfg.Health.SetLogger(cfg.Logger)
+	}
 	store, err := driver.Run(cfg.FromYear, cfg.ToYear)
 	if err != nil {
 		return nil, fmt.Errorf("dcnr: simulating: %w", err)
@@ -127,6 +155,12 @@ type BackboneResult struct {
 	// Analysis answers the §6 questions over the reconstructed intervals.
 	Analysis *InterAnalysis
 }
+
+// healthEdgeEvalPeriod is the sim-hour cadence at which SimulateBackbone
+// replays the observation window into an attached health engine: daily, so
+// the edge-availability rule's for-duration semantics match the intra-DC
+// plane's.
+const healthEdgeEvalPeriod = 24.0
 
 // SimulateBackbone generates a backbone per cfg, simulates its failure
 // processes over the observation window, and round-trips the repair
@@ -161,6 +195,17 @@ func SimulateBackbone(cfg BackboneConfig) (*BackboneResult, error) {
 		}
 	}
 	dts := coll.Downtimes()
+	if cfg.Health != nil {
+		// Feed the reconstructed intervals to the health engine and
+		// evaluate over the window, so edge-availability rules see the
+		// same data the §6 analysis does.
+		for _, dt := range dts {
+			cfg.Health.RecordEdgeDown(dt.Start, dt.End)
+		}
+		for t := healthEdgeEvalPeriod; t <= coll.WindowHours; t += healthEdgeEvalPeriod {
+			cfg.Health.Evaluate(t)
+		}
+	}
 	analysis, err := core.NewInterAnalysis(topo, dts, coll.WindowHours)
 	if err != nil {
 		return nil, fmt.Errorf("dcnr: analyzing backbone: %w", err)

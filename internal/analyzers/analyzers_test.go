@@ -17,8 +17,10 @@ import (
 // data for them (and, via -deps, everything they import) backs the type
 // checker, so fixtures type-check exactly like real code.
 var fixtureDeps = []string{
-	"dcnr/internal/des", "dcnr/internal/obs", "dcnr/internal/simrand",
-	"bytes", "fmt", "io", "math/rand", "net", "os", "sort", "sync", "time",
+	"dcnr/internal/des", "dcnr/internal/obs", "dcnr/internal/obs/health",
+	"dcnr/internal/simrand",
+	"bytes", "fmt", "io", "log/slog", "math/rand", "net", "os", "sort",
+	"sync", "time",
 }
 
 var fixtureEnv struct {
@@ -146,12 +148,18 @@ func TestObsNilSafeBadFixture(t *testing.T) {
 	pkg := loadFixture(t, "obsnilsafe/bad")
 	diags := pkg.Analyze([]*Analyzer{ObsNilSafe})
 	assertDiags(t, diags, []string{
-		"bad.go:11:2 obsnilsafe",  // field of value type obs.Counter
-		"bad.go:17:6 obsnilsafe",  // obs.Registry{} composite literal
-		"bad.go:18:7 obsnilsafe",  // new(obs.Histogram)
-		"bad.go:20:10 obsnilsafe", // &obs.Gauge{} composite literal
-		"bad.go:24:13 obsnilsafe", // parameter of value type obs.Histogram
+		"bad.go:11:2 obsnilsafe",        // field of value type obs.Counter
+		"bad.go:17:6 obsnilsafe",        // obs.Registry{} composite literal
+		"bad.go:18:7 obsnilsafe",        // new(obs.Histogram)
+		"bad.go:20:10 obsnilsafe",       // &obs.Gauge{} composite literal
+		"bad.go:24:13 obsnilsafe",       // parameter of value type obs.Histogram
+		"bad_health.go:10:2 obsnilsafe", // field of value type health.Engine
+		"bad_health.go:15:6 obsnilsafe", // health.Engine{} composite literal
+		"bad_health.go:16:9 obsnilsafe", // new(health.Engine)
 	})
+	if !diagsMention(diags, "health.New") {
+		t.Errorf("engine diagnostics should point at health.New: %q", diagKeys(diags))
+	}
 }
 
 func TestObsNilSafeGoodFixture(t *testing.T) {

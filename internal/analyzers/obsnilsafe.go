@@ -8,43 +8,61 @@ import (
 // ObsNilSafe enforces the obs package's wiring contract outside obs
 // itself: metric values come from a Registry (whose nil form hands out nil,
 // no-op metrics), are held by pointer, and are only touched through their
-// nil-safe methods. Violations this catches:
+// nil-safe methods. The health engine rides the same contract: a nil
+// *health.Engine is the uninstrumented no-op, and health.New is the only
+// constructor that validates rules and wires state. Violations this
+// catches:
 //
-//   - constructing obs.Counter/Gauge/Histogram/Registry/Tracer with a
-//     composite literal or new(): a hand-rolled metric is invisible to
-//     every exposition path (Snapshot, expvar, Prometheus), and a
-//     zero-value Registry panics on first use.
+//   - constructing obs.Counter/Gauge/Histogram/Registry/Tracer or
+//     health.Engine with a composite literal or new(): a hand-rolled
+//     metric is invisible to every exposition path (Snapshot, expvar,
+//     Prometheus), a zero-value Registry panics on first use, and a
+//     zero-value Engine skips rule validation.
 //   - declaring a field, variable, or parameter of value (non-pointer)
-//     metric type: copying the embedded atomics forks the metric, and a
-//     value can never be the nil no-op that uninstrumented runs rely on.
+//     guarded type: copying the embedded atomics/mutexes forks the state,
+//     and a value can never be the nil no-op that uninstrumented runs rely
+//     on.
 //
-// obs.Event and the snapshot types are plain data and stay unrestricted.
+// obs.Event, the snapshot types, and health's plain-data types (Targets,
+// Rule, SLOReport) stay unrestricted.
 var ObsNilSafe = &Analyzer{
 	Name: "obsnilsafe",
-	Doc:  "obs metrics must come from a Registry and be held by pointer",
+	Doc:  "obs metrics and health engines must come from their constructors and be held by pointer",
 	Run:  runObsNilSafe,
 }
 
-const obsPath = "dcnr/internal/obs"
+const (
+	obsPath    = "dcnr/internal/obs"
+	healthPath = "dcnr/internal/obs/health"
+)
 
-// obsGuardedTypes are the obs types with construction and copy rules.
-// Constructors: Registry methods for metrics, NewRegistry, NewTracer.
-var obsGuardedTypes = map[string]bool{
-	"Counter": true, "Gauge": true, "Histogram": true,
-	"Registry": true, "Tracer": true,
+// obsGuardedTypes are the types with construction and copy rules, per
+// package. Constructors: Registry methods for metrics, NewRegistry,
+// NewTracer, health.New.
+var obsGuardedTypes = map[string]map[string]bool{
+	obsPath: {
+		"Counter": true, "Gauge": true, "Histogram": true,
+		"Registry": true, "Tracer": true,
+	},
+	healthPath: {"Engine": true},
 }
 
+// isObsGuarded reports whether t is a guarded type, returning its
+// package-qualified name (e.g. "obs.Counter", "health.Engine").
 func isObsGuarded(t types.Type) (string, bool) {
 	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != obsPath {
+	if !ok || named.Obj().Pkg() == nil {
 		return "", false
 	}
-	name := named.Obj().Name()
-	return name, obsGuardedTypes[name]
+	set := obsGuardedTypes[named.Obj().Pkg().Path()]
+	if set == nil || !set[named.Obj().Name()] {
+		return "", false
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name(), true
 }
 
 func runObsNilSafe(pass *Pass) {
-	if pass.Pkg.Path() == obsPath {
+	if obsGuardedTypes[pass.Pkg.Path()] != nil {
 		return
 	}
 	for _, file := range pass.Files {
@@ -54,7 +72,7 @@ func runObsNilSafe(pass *Pass) {
 				if tv, ok := pass.Info.Types[n]; ok {
 					if name, guarded := isObsGuarded(tv.Type); guarded {
 						pass.Reportf(n.Pos(),
-							"obs.%s constructed directly: use %s so the metric is registered and nil-safe",
+							"%s constructed directly: use %s so the value is registered and nil-safe",
 							name, obsConstructor(name))
 					}
 				}
@@ -63,7 +81,7 @@ func runObsNilSafe(pass *Pass) {
 					if tv, ok := pass.Info.Types[n.Args[0]]; ok && tv.IsType() {
 						if name, guarded := isObsGuarded(tv.Type); guarded {
 							pass.Reportf(n.Pos(),
-								"new(obs.%s) bypasses the registry: use %s", name, obsConstructor(name))
+								"new(%s) bypasses the constructor: use %s", name, obsConstructor(name))
 						}
 					}
 				}
@@ -72,7 +90,7 @@ func runObsNilSafe(pass *Pass) {
 		})
 	}
 	// Value-typed declarations: every defined field/var/param whose type is
-	// a guarded obs type held by value.
+	// a guarded type held by value.
 	for ident, obj := range pass.Info.Defs {
 		v, ok := obj.(*types.Var)
 		if !ok {
@@ -80,7 +98,7 @@ func runObsNilSafe(pass *Pass) {
 		}
 		if name, guarded := isObsGuarded(v.Type()); guarded {
 			pass.Reportf(ident.Pos(),
-				"%s holds obs.%s by value: declare *obs.%s (values copy atomics and can never be the nil no-op)",
+				"%s holds %s by value: declare *%s (values copy internal state and can never be the nil no-op)",
 				ident.Name, name, name)
 		}
 	}
@@ -88,10 +106,12 @@ func runObsNilSafe(pass *Pass) {
 
 func obsConstructor(name string) string {
 	switch name {
-	case "Registry":
+	case "obs.Registry":
 		return "obs.NewRegistry"
-	case "Tracer":
+	case "obs.Tracer":
 		return "obs.NewTracer"
+	case "health.Engine":
+		return "health.New"
 	}
-	return "Registry." + name
+	return "Registry." + name[len("obs."):]
 }

@@ -15,7 +15,11 @@ import (
 //   - wall-clock reads (time.Now, time.Since, timers, sleeps): simulation
 //     time comes from des.Simulator.Now. Wall-clock telemetry (obs trace
 //     lanes, handler-cost histograms) is legitimate — mark those sites
-//     with //lint:allow simdeterminism.
+//     with //lint:allow simdeterminism. Wall-clock reads nested inside the
+//     arguments of a log/slog call are exempt without a directive: log
+//     records already carry a wall-clock timestamp of their own, so a
+//     time read feeding a log attribute is telemetry by construction and
+//     cannot leak into simulated results.
 //   - math/rand and math/rand/v2: their global source is seeded from the
 //     wall clock and their sequences are not stable across Go releases;
 //     dcnr/internal/simrand is the project's deterministic source.
@@ -83,11 +87,18 @@ func checkSimFunc(pass *Pass, fn *ast.FuncDecl) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			callee := calleeFunc(pass.Info, n)
-			if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "time" &&
-				bannedTimeFuncs[callee.Name()] {
-				pass.Reportf(n.Pos(),
-					"wall clock in simulation code: time.%s (simulation time is des.Simulator.Now; for wall-clock telemetry add //lint:allow simdeterminism)",
-					callee.Name())
+			if callee != nil && callee.Pkg() != nil {
+				if callee.Pkg().Path() == "log/slog" {
+					// Skip the call's subtree: wall-clock reads feeding
+					// structured-log attributes are telemetry, and slog
+					// stamps every record with time.Now regardless.
+					return false
+				}
+				if callee.Pkg().Path() == "time" && bannedTimeFuncs[callee.Name()] {
+					pass.Reportf(n.Pos(),
+						"wall clock in simulation code: time.%s (simulation time is des.Simulator.Now; for wall-clock telemetry add //lint:allow simdeterminism)",
+						callee.Name())
+				}
 			}
 		case *ast.RangeStmt:
 			if tv, ok := pass.Info.Types[n.X]; ok {

@@ -1,0 +1,17 @@
+// Hand-rolled health engines: only health.New validates rules and wires
+// the alert state machine, and only a pointer can be the nil no-op.
+package bad
+
+import "dcnr/internal/obs/health"
+
+// Monitor holds an engine by value: copying forks the mutex and the alert
+// state.
+type Monitor struct {
+	engine health.Engine
+}
+
+// HiddenEngine builds engines that skipped rule validation.
+func HiddenEngine() *health.Engine {
+	_ = health.Engine{}
+	return new(health.Engine)
+}

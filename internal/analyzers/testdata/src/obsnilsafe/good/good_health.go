@@ -1,0 +1,22 @@
+// The health engine follows the same contract as obs metrics: built by
+// its constructor, held by pointer, nil meaning uninstrumented no-op.
+package good
+
+import "dcnr/internal/obs/health"
+
+// Health owns a constructor-built engine.
+type Health struct {
+	engine *health.Engine
+}
+
+// NewHealth builds the engine through health.New, which validates rules.
+func NewHealth(targets health.Targets) (*Health, error) {
+	eng, err := health.New(targets, health.DefaultRules())
+	if err != nil {
+		return nil, err
+	}
+	return &Health{engine: eng}, nil
+}
+
+// Healthy reads through the nil-safe pointer.
+func (h *Health) Healthy() bool { return h.engine.Healthy() }

@@ -28,6 +28,7 @@ import (
 
 	"dcnr/internal/des"
 	"dcnr/internal/obs"
+	"dcnr/internal/obs/health"
 	"dcnr/internal/simrand"
 )
 
@@ -153,6 +154,10 @@ type Config struct {
 	// Trace, when non-nil, records per-event spans from the backbone's
 	// event loop.
 	Trace *obs.Tracer
+	// Health, when non-nil, receives every reconstructed link downtime
+	// interval and is evaluated over the window, driving the
+	// edge-availability SLO signal. Wired by dcnr.SimulateBackbone.
+	Health *health.Engine
 }
 
 // DefaultConfig returns the study-sized configuration.

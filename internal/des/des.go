@@ -9,7 +9,9 @@ package des
 
 import (
 	"container/heap"
+	"context"
 	"errors"
+	"log/slog"
 	"math"
 	"time"
 
@@ -76,6 +78,8 @@ type Simulator struct {
 	gSimTime *obs.Gauge
 	hEvent   *obs.Histogram
 	tracer   *obs.Tracer
+	logger   *slog.Logger
+	logDebug bool
 }
 
 // Instrument attaches telemetry to the simulator. Metrics registered on
@@ -96,10 +100,27 @@ func (s *Simulator) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	s.tracer = tr
 }
 
+// SetLogger attaches a structured logger to the kernel: every fired event
+// logs a debug record carrying the simulation clock and queue depth. The
+// debug-level gate is evaluated once here, so an info-level logger costs
+// the hot loop nothing. Pair with obs.NewSimHandler so records carry the
+// wall clock too (slog stamps it internally — the kernel itself never
+// reads wall time for simulation state). Nil detaches.
+func (s *Simulator) SetLogger(l *slog.Logger) {
+	s.logger = l
+	s.logDebug = l != nil && l.Enabled(context.Background(), slog.LevelDebug)
+}
+
 // fire executes one popped event, with telemetry when attached.
 func (s *Simulator) fire(next *Event) {
 	s.now = next.at
 	s.fired++
+	if s.logDebug {
+		s.logger.Debug("des event fired",
+			slog.Uint64("seq", next.seq),
+			slog.Int("pending", len(s.queue)),
+			obs.SimHours(s.now))
+	}
 	if s.mFired == nil && s.tracer == nil {
 		next.handler(s.now)
 		return

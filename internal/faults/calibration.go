@@ -1,6 +1,8 @@
 package faults
 
 import (
+	"dcnr/internal/fleet"
+	"dcnr/internal/obs/health"
 	"dcnr/internal/sev"
 	"dcnr/internal/topology"
 )
@@ -116,3 +118,33 @@ func IncidentTarget(year int, t topology.DeviceType) float64 {
 // TotalIncidentTarget returns the calibrated expected number of incidents
 // across all device types in a year.
 func TotalIncidentTarget(year int) float64 { return incidentTotals[year] }
+
+// HealthTargets derives the streaming SLO objectives for a fleet from the
+// same calibration tables that shape the generator: the health engine's
+// error budgets are the expected incident volumes (scaled like the fleet),
+// its MTTR objectives the Figure 13 resolution-p75 targets, and its MTBF
+// denominators the per-year populations. This is the one place the
+// calibration crosses into the observability plane; package health itself
+// stays ignorant of the generator.
+func HealthTargets(fl *fleet.Model) health.Targets {
+	t := health.Targets{
+		EpochYear:  fleet.FirstYear,
+		Expected:   make(map[int]map[string]float64, fleet.NumYears),
+		Population: make(map[int]map[string]int, fleet.NumYears),
+		MTTRp75:    make(map[int]float64, fleet.NumYears),
+	}
+	for year := fleet.FirstYear; year <= fleet.LastYear; year++ {
+		exp := make(map[string]float64)
+		pop := make(map[string]int)
+		for dt, n := range fl.Populations(year) {
+			pop[dt.String()] = n
+			if e := IncidentTarget(year, dt) * float64(fl.Scale()); e > 0 {
+				exp[dt.String()] = e
+			}
+		}
+		t.Expected[year] = exp
+		t.Population[year] = pop
+		t.MTTRp75[year] = resolutionP75[year]
+	}
+	return t
+}

@@ -11,11 +11,13 @@ package faults
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 
 	"dcnr/internal/des"
 	"dcnr/internal/fleet"
 	"dcnr/internal/obs"
+	"dcnr/internal/obs/health"
 	"dcnr/internal/remediation"
 	"dcnr/internal/service"
 	"dcnr/internal/sev"
@@ -53,11 +55,21 @@ type Driver struct {
 	// Store receives the escalated faults as SEV reports.
 	Store *sev.Store
 
+	// ElevateYear and ElevateFactor inject an anomaly: the fault arrival
+	// rate of ElevateYear is multiplied by ElevateFactor (> 1) while the
+	// health engine keeps judging against the unelevated calibration —
+	// the scenario that drives burn-rate alerts through their lifecycle.
+	// A zero factor (or year outside the run) changes nothing.
+	ElevateYear   int
+	ElevateFactor float64
+
 	sim       *des.Simulator
 	src       *simrand.Source
 	manual    *simrand.Stream
 	details   *simrand.Stream
 	repTopo   *topology.Network
+	health    *health.Engine
+	logger    *slog.Logger
 	faults    int
 	incidents int
 }
@@ -99,6 +111,22 @@ func (d *Driver) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	d.Store.Instrument(reg)
 }
 
+// SetHealth attaches a streaming SLO engine: the driver feeds it every
+// fault, repair, and incident, and schedules a daily sim-time evaluation
+// tick across the run. Call before Run; nil detaches.
+func (d *Driver) SetHealth(e *health.Engine) { d.health = e }
+
+// SetLogger attaches a structured logger: the driver (and, through
+// SetLogger on the engine it owns, the remediation plane) logs incidents
+// at info and fault-level churn at debug, each record carrying the
+// simulation clock. Pair with obs.NewSimHandler. Call before Run; nil
+// detaches.
+func (d *Driver) SetLogger(l *slog.Logger) {
+	d.logger = l
+	d.Engine.SetLogger(l)
+	d.sim.SetLogger(l)
+}
+
 // Faults reports how many device faults the last Run generated.
 func (d *Driver) Faults() int { return d.faults }
 
@@ -126,12 +154,41 @@ func (d *Driver) Run(from, to int) (*sev.Store, error) {
 				continue
 			}
 			raw := target / escalationProb(dt)
+			if year == d.ElevateYear && d.ElevateFactor > 0 {
+				raw *= d.ElevateFactor
+			}
 			n := volumes.Poisson(raw)
 			d.scheduleFaults(year, dt, n)
 		}
 	}
+	d.scheduleHealthTicks(from, to)
 	d.sim.Run(math.Inf(1))
+	if d.health != nil {
+		// Run(∞) leaves the clock at +Inf once the queue drains; close
+		// the books at the finite end of the simulated range.
+		d.health.Evaluate(des.YearStart(to+1, fleet.FirstYear))
+	}
 	return d.Store, nil
+}
+
+// healthEvalPeriod is the sim-time cadence of health-engine evaluations:
+// one tick per simulated day, ~2.5k extra events over a full study run.
+const healthEvalPeriod = 24.0
+
+// scheduleHealthTicks pre-schedules the health engine's evaluation ticks
+// over the simulated range. They are plain scheduled events (not
+// des.Every) so the queue still drains and Run(∞) terminates.
+func (d *Driver) scheduleHealthTicks(from, to int) {
+	if d.health == nil {
+		return
+	}
+	start := des.YearStart(from, fleet.FirstYear)
+	end := des.YearStart(to+1, fleet.FirstYear)
+	for t := start + healthEvalPeriod; t <= end; t += healthEvalPeriod {
+		if _, err := d.sim.Schedule(t, func(now float64) { d.health.Evaluate(now) }); err != nil {
+			panic(fmt.Sprintf("faults: scheduling health tick: %v", err))
+		}
+	}
 }
 
 func (d *Driver) scheduleFaults(year int, dt topology.DeviceType, n int) {
@@ -180,12 +237,20 @@ func (d *Driver) virtualName(rng *simrand.Stream, year int, dt topology.DeviceTy
 }
 
 func (d *Driver) handleFault(f Fault) {
+	d.health.RecordFault(f.Start, f.Type.String())
+	if d.logger != nil {
+		d.logger.Debug("fault detected",
+			slog.String("device", f.Device),
+			slog.String("class", f.Class.String()),
+			obs.SimHours(f.Start))
+	}
 	// Before 2013 there is no automated repair: the manual repair desk
 	// masks faults at the same per-type success rate, just slowly (§3.1's
 	// "humans perform slow repairs" — which is why automation changed the
 	// operational load, not the SEV stream).
 	if f.Year < fleet.AutomatedRepairYear {
 		if !d.manual.Bool(escalationProb(f.Type)) {
+			d.health.RecordRepair(f.Start, f.Type.String())
 			return // repaired by a technician; no service impact
 		}
 		d.recordIncident(f)
@@ -193,6 +258,7 @@ func (d *Driver) handleFault(f Fault) {
 	}
 	d.Engine.Submit(f.Type, f.Class, func(o remediation.Outcome) {
 		if o.Repaired {
+			d.health.RecordRepair(d.sim.Now(), f.Type.String())
 			return
 		}
 		d.recordIncident(f)
@@ -221,10 +287,20 @@ func (d *Driver) recordIncident(f Fault) {
 		ServicesAffected: as.Services,
 		Reviewed:         true,
 	}
-	if _, err := d.Store.Add(report); err != nil {
+	id, err := d.Store.Add(report)
+	if err != nil {
 		panic(fmt.Sprintf("faults: storing SEV: %v", err))
 	}
 	d.incidents++
+	d.health.RecordIncident(f.Start, f.Type.String(), resolution)
+	if d.logger != nil {
+		d.logger.Info("incident escalated",
+			slog.Int("sev", id),
+			slog.String("device", f.Device),
+			slog.String("severity", as.Severity.String()),
+			slog.Float64("resolution_hours", resolution),
+			obs.SimHours(f.Start))
+	}
 }
 
 // representative maps a virtual device to a same-type device in the

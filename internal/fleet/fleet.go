@@ -88,6 +88,18 @@ func (m *Model) Population(year int, t topology.DeviceType) int {
 	return yp[t] * m.scale
 }
 
+// Populations returns the device count of every type deployed during
+// year, keyed by type. Years outside the study period return an empty map.
+func (m *Model) Populations(year int) map[topology.DeviceType]int {
+	out := make(map[topology.DeviceType]int, len(topology.IntraDCTypes))
+	for _, t := range topology.IntraDCTypes {
+		if n := m.Population(year, t); n > 0 {
+			out[t] = n
+		}
+	}
+	return out
+}
+
 // TotalPopulation returns the total network device count in year.
 func (m *Model) TotalPopulation(year int) int {
 	total := 0

@@ -239,6 +239,11 @@ func (c *Client) Send(text string) error {
 	return fmt.Errorf("notify: server rejected message: %s", strings.TrimPrefix(status, "ERR "))
 }
 
+// Notify is an alias for Send, satisfying the health.Sink interface: a
+// dialed Client plugs straight into the health engine as its alert
+// transition sink.
+func (c *Client) Notify(text string) error { return c.Send(text) }
+
 // SetDeadline bounds subsequent sends.
 func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 
@@ -265,4 +270,28 @@ func SendAll(ctx context.Context, addr string, messages []string) error {
 		}
 	}
 	return nil
+}
+
+// Recorder is an in-memory notification sink: it satisfies the same
+// Notify interface as Client but simply accumulates messages. The health
+// engine uses one when no collector endpoint is configured, so alert
+// transitions are always inspectable after a run.
+type Recorder struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+// Notify records one message. It never fails.
+func (r *Recorder) Notify(text string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.msgs = append(r.msgs, text)
+	return nil
+}
+
+// Messages returns a copy of everything recorded, in arrival order.
+func (r *Recorder) Messages() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.msgs...)
 }

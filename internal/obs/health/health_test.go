@@ -1,0 +1,402 @@
+package health
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+
+	"dcnr/internal/obs"
+)
+
+// testTargets: one device type, 100 expected incidents/year flat across
+// three years, slack 1.5. Budget for a 15-day window ≈ 1.5 * 100*360/8760
+// ≈ 6.16 incidents.
+func testTargets() Targets {
+	exp := map[int]map[string]float64{}
+	pop := map[int]map[string]int{}
+	mttr := map[int]float64{}
+	for y := 2011; y <= 2013; y++ {
+		exp[y] = map[string]float64{"RSW": 100}
+		pop[y] = map[string]int{"RSW": 1000}
+		mttr[y] = 10
+	}
+	return Targets{EpochYear: 2011, Expected: exp, Population: pop, MTTRp75: mttr}
+}
+
+type recordingSink struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (r *recordingSink) Notify(text string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.msgs = append(r.msgs, text)
+	return nil
+}
+
+func (r *recordingSink) all() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.msgs...)
+}
+
+func TestExpectedIncidentsIntegration(t *testing.T) {
+	tg := testTargets()
+	if got := tg.expectedIncidents("RSW", 0, hoursPerYear); got != 100 {
+		t.Errorf("one full year = %v, want 100", got)
+	}
+	// Half of 2011 + half of 2012 at the same rate.
+	got := tg.expectedIncidents("RSW", hoursPerYear/2, hoursPerYear*3/2)
+	if got < 99.9 || got > 100.1 {
+		t.Errorf("year-straddling window = %v, want ≈ 100", got)
+	}
+	// Windows reaching before the study start truncate.
+	if got := tg.expectedIncidents("RSW", -hoursPerYear, hoursPerYear); got != 100 {
+		t.Errorf("pre-epoch window = %v, want 100", got)
+	}
+	// Fleet-wide sums types.
+	tg.Expected[2011]["Core"] = 50
+	if got := tg.expectedIncidents(FleetWide, 0, hoursPerYear); got != 150 {
+		t.Errorf("fleet-wide year = %v, want 150", got)
+	}
+}
+
+// driveBurn feeds n incidents uniformly over (from, to] and evaluates
+// daily, returning the engine.
+func seedIncidents(e *Engine, n int, from, to float64) {
+	step := (to - from) / float64(n)
+	for i := 0; i < n; i++ {
+		e.RecordIncident(from+float64(i)*step+step/2, "RSW", 5)
+	}
+}
+
+func TestBurnRuleLifecycle(t *testing.T) {
+	rule := Rule{
+		Name: "fast", Signal: SignalIncidentBurn,
+		Windows: []float64{15 * 24, 60 * 24}, Threshold: 2.0, For: 48,
+	}
+	e, err := New(testTargets(), []Rule{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	e.SetSink(sink)
+	reg := obs.NewRegistry()
+	e.Instrument(reg)
+
+	// Year 1 at calibration: ~100 incidents, burn ≈ 0.67 — stays quiet.
+	seedIncidents(e, 100, 0, hoursPerYear)
+	for d := 1; d <= 365; d++ {
+		e.Evaluate(float64(d) * 24)
+	}
+	if got := e.Report(); !got.Healthy {
+		t.Fatalf("calibrated year should stay healthy: %+v", got.Rules)
+	}
+	if n := len(sink.all()); n != 0 {
+		t.Fatalf("calibrated year produced %d notifications", n)
+	}
+
+	// Year 2 elevated 5×: both windows breach, rule walks
+	// inactive→pending→firing.
+	seedIncidents(e, 500, hoursPerYear, 2*hoursPerYear)
+	for d := 366; d <= 730; d++ {
+		e.Evaluate(float64(d) * 24)
+	}
+	rep := e.Report()
+	if rep.Healthy {
+		t.Fatal("elevated year should be firing")
+	}
+	if st := rep.Rules[0].State; st != "firing" {
+		t.Fatalf("rule state = %s, want firing", st)
+	}
+
+	// Year 3 back to calibration: windows drain, rule resolves.
+	seedIncidents(e, 100, 2*hoursPerYear, 3*hoursPerYear)
+	for d := 731; d <= 1095; d++ {
+		e.Evaluate(float64(d) * 24)
+	}
+	rep = e.Report()
+	if !rep.Healthy {
+		t.Fatalf("rule should have resolved: %+v", rep.Rules)
+	}
+
+	// The history must contain the full walk, in order.
+	var walk []string
+	for _, tr := range rep.Transitions {
+		walk = append(walk, tr.From+">"+tr.To)
+	}
+	want := []string{"inactive>pending", "pending>firing", "firing>inactive"}
+	if strings.Join(walk, " ") != strings.Join(want, " ") {
+		t.Errorf("transition walk = %v, want %v", walk, want)
+	}
+	// Transitions reached the sink and the metrics.
+	if msgs := sink.all(); len(msgs) != 3 || !strings.Contains(msgs[1], "firing") {
+		t.Errorf("sink messages = %v", msgs)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["health_transitions_total"]; got != 3 {
+		t.Errorf("health_transitions_total = %d, want 3", got)
+	}
+	if got := snap.Counters["health_evaluations_total"]; got != 1095 {
+		t.Errorf("health_evaluations_total = %d, want 1095", got)
+	}
+	if _, ok := snap.Gauges["health_burn_fast"]; !ok {
+		t.Error("per-rule burn gauge not registered")
+	}
+}
+
+func TestForDurationGatesFiring(t *testing.T) {
+	rule := Rule{
+		Name: "gated", Signal: SignalIncidentBurn,
+		Windows: []float64{15 * 24}, Threshold: 2.0, For: 72,
+	}
+	e, err := New(testTargets(), []Rule{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RecordFault(1, "RSW") // open the observation window
+	// Burst breaching the 15-day window, placed after it can fill.
+	seedIncidents(e, 30, 400, 410)
+	e.Evaluate(420) // condition true → pending
+	e.Evaluate(444) // held 24h < 72h → still pending
+	rep := e.Report()
+	if st := rep.Rules[0].State; st != "pending" {
+		t.Fatalf("state after 24h = %s, want pending", st)
+	}
+	e.Evaluate(500) // held 80h ≥ 72h → firing
+	if st := e.Report().Rules[0].State; st != "firing" {
+		t.Fatalf("state after 80h = %s, want firing", st)
+	}
+}
+
+func TestPendingResetsWhenConditionClears(t *testing.T) {
+	rule := Rule{
+		Name: "flappy", Signal: SignalIncidentBurn,
+		Windows: []float64{10 * 24}, Threshold: 2.0, For: 1000,
+	}
+	e, err := New(testTargets(), []Rule{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RecordFault(1, "RSW") // open the observation window
+	seedIncidents(e, 20, 400, 410)
+	e.Evaluate(420)
+	if st := e.Report().Rules[0].State; st != "pending" {
+		t.Fatalf("state = %s, want pending", st)
+	}
+	// Window slides past the burst: condition clears before For elapses.
+	e.Evaluate(420 + 12*24)
+	if st := e.Report().Rules[0].State; st != "inactive" {
+		t.Fatalf("state = %s, want inactive after condition cleared", st)
+	}
+	if n := len(e.Report().Transitions); n != 2 {
+		t.Errorf("transitions = %d, want 2 (pending then back)", n)
+	}
+}
+
+func TestMultiWindowAND(t *testing.T) {
+	rule := Rule{
+		Name: "and", Signal: SignalIncidentBurn,
+		Windows: []float64{5 * 24, 60 * 24}, Threshold: 2.0, For: 0,
+	}
+	e, err := New(testTargets(), []Rule{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RecordFault(1, "RSW") // open the observation window
+	// A short spike breaches the 5-day window but not the 60-day one.
+	seedIncidents(e, 10, 2000, 2024)
+	e.Evaluate(2048)
+	rep := e.Report()
+	if st := rep.Rules[0].State; st != "inactive" {
+		t.Fatalf("short-window-only spike moved rule to %s; values %v", st, rep.Rules[0].Values)
+	}
+	if v := rep.Rules[0].Values; len(v) != 2 || v[0] <= v[1] {
+		t.Errorf("expected short window hotter than long: %v", v)
+	}
+}
+
+func TestMTTRSignalNeedsSamples(t *testing.T) {
+	rule := Rule{
+		Name: "mttr", Signal: SignalMTTR,
+		Windows: []float64{90 * 24}, Threshold: 2.0, For: 0,
+	}
+	e, err := New(testTargets(), []Rule{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RecordFault(1, "RSW") // open the observation window
+	// One short of the sample floor: unmeasurable, must stay inactive.
+	for i := 0; i < minMTTRSamples-1; i++ {
+		e.RecordIncident(2200+float64(i), "RSW", 100)
+	}
+	e.Evaluate(2400)
+	if st := e.Report().Rules[0].State; st != "inactive" {
+		t.Fatalf("under-sampled MTTR signal fired: %s", st)
+	}
+	// One more sample crosses the floor: p75=100 vs target 10 → fires.
+	e.RecordIncident(2210, "RSW", 100)
+	e.Evaluate(2424)
+	if st := e.Report().Rules[0].State; st != "firing" {
+		t.Fatalf("state = %s, want firing (p75 10× target, For=0)", st)
+	}
+}
+
+func TestEdgeAvailabilitySignalAndReport(t *testing.T) {
+	tg := testTargets()
+	tg.EdgeAvailability = 0.999 // budget: 0.1% of the window
+	e, err := New(tg, EdgeRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Evaluate(1) // open the observation window
+	// 720h window budget = 0.72h of downtime; record 3h.
+	e.RecordEdgeDown(1000, 1003)
+	e.Evaluate(1100)
+	rep := e.Report()
+	if rep.EdgeAvailability == nil {
+		t.Fatal("edge SLO missing from report")
+	}
+	if rep.EdgeAvailability.DowntimeHours != 3 {
+		t.Errorf("downtime = %v, want 3", rep.EdgeAvailability.DowntimeHours)
+	}
+	if st := rep.Rules[0].State; st != "pending" {
+		t.Fatalf("edge rule state = %s, want pending (For=72h)", st)
+	}
+	e.Evaluate(1180)
+	if st := e.Report().Rules[0].State; st != "firing" {
+		t.Fatalf("edge rule state = %s, want firing", st)
+	}
+}
+
+func TestOutOfOrderIncidentInsert(t *testing.T) {
+	e, err := New(testTargets(), DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RecordIncident(100, "RSW", 1)
+	e.RecordIncident(50, "RSW", 1) // late arrival
+	e.RecordIncident(75, "RSW", 1)
+	if got := e.countIncidents("RSW", 60, 110); got != 2 {
+		t.Errorf("window count over out-of-order inserts = %d, want 2", got)
+	}
+	if got := e.countIncidents(FleetWide, 0, 200); got != 3 {
+		t.Errorf("fleet count = %d, want 3", got)
+	}
+}
+
+func TestNilEngineIsNoOp(t *testing.T) {
+	var e *Engine
+	e.RecordFault(1, "RSW")
+	e.RecordRepair(1, "RSW")
+	e.RecordIncident(1, "RSW", 1)
+	e.RecordEdgeDown(1, 2)
+	e.Evaluate(10)
+	e.SetSink(nil)
+	e.SetLogger(nil)
+	e.Instrument(obs.NewRegistry())
+	if !e.Healthy() {
+		t.Error("nil engine should be healthy")
+	}
+	rep := e.Report()
+	if !rep.Healthy {
+		t.Error("nil engine report should be healthy")
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	bad := []Rule{
+		{Name: "", Signal: SignalIncidentBurn, Windows: []float64{1}, Threshold: 1},
+		{Name: "w", Signal: SignalIncidentBurn, Threshold: 1},
+		{Name: "t", Signal: SignalIncidentBurn, Windows: []float64{1}},
+		{Name: "s", Signal: "bogus", Windows: []float64{1}, Threshold: 1},
+		{Name: "neg", Signal: SignalMTTR, Windows: []float64{1}, Threshold: 1, For: -1},
+	}
+	for _, r := range bad {
+		if _, err := New(testTargets(), []Rule{r}); err == nil {
+			t.Errorf("rule %+v should fail validation", r)
+		}
+	}
+	dup := DefaultRules()
+	if _, err := New(testTargets(), append(dup, dup[0])); err == nil {
+		t.Error("duplicate rule names should fail")
+	}
+}
+
+func TestReportJSONAndLogging(t *testing.T) {
+	e, err := New(testTargets(), DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	h, err := obs.NewSimHandler(&logBuf, "json", slog.LevelInfo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetLogger(slog.New(h))
+	e.RecordFault(10, "RSW")
+	e.RecordRepair(10, "RSW")
+	seedIncidents(e, 200, 0, 60*24) // hot enough to transition
+	for d := 1; d <= 70; d++ {      // run past the longest window filling
+		e.Evaluate(float64(d) * 24)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep SLOReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Types["RSW"].Faults != 1 || rep.Types["RSW"].Repairs != 1 {
+		t.Errorf("fault/repair counts lost: %+v", rep.Types["RSW"])
+	}
+	if rep.Fleet.Incidents == 0 || rep.Fleet.MTBFHours <= 0 {
+		t.Errorf("fleet stats empty: %+v", rep.Fleet)
+	}
+	if len(rep.Transitions) == 0 {
+		t.Fatal("expected at least one transition")
+	}
+	// Transition logs carry the sim clock of the transition instant.
+	line := logBuf.String()
+	if !strings.Contains(line, "health alert transition") || !strings.Contains(line, obs.SimHoursKey) {
+		t.Errorf("transition log missing or lacks sim_hours: %q", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.Split(strings.TrimSpace(line), "\n")[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec[obs.SimHoursKey].(float64) != rep.Transitions[0].AtSimHours {
+		t.Errorf("log sim_hours %v != transition sim time %v", rec[obs.SimHoursKey], rep.Transitions[0].AtSimHours)
+	}
+}
+
+func TestConcurrentRecordAndReport(t *testing.T) {
+	e, err := New(testTargets(), DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			e.RecordIncident(float64(i), "RSW", 1)
+			if i%50 == 0 {
+				e.Evaluate(float64(i))
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = e.Report()
+			_ = e.Healthy()
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func snapWith(h *Histogram, samples ...float64) HistogramSnapshot {
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	snap := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		snap.Counts[i] = h.counts[i].Load()
+	}
+	return snap
+}
+
+func TestSnapshotMergeCombinesAllKinds(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Counter("events_total").Add(3)
+	rb.Counter("events_total").Add(4)
+	rb.Counter("only_b_total").Add(1)
+	ra.Gauge("depth").Set(2)
+	rb.Gauge("depth").Set(7)
+	ra.Histogram("lat", []float64{1, 10}).Observe(0.5)
+	rb.Histogram("lat", []float64{1, 10}).Observe(5)
+	rb.Histogram("lat", []float64{1, 10}).Observe(100)
+
+	merged := ra.Snapshot()
+	if err := merged.Merge(rb.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Counters["events_total"]; got != 7 {
+		t.Errorf("merged counter = %d, want 7", got)
+	}
+	if got := merged.Counters["only_b_total"]; got != 1 {
+		t.Errorf("counter present only in other = %d, want 1", got)
+	}
+	if got := merged.Gauges["depth"]; got != 7 {
+		t.Errorf("merged gauge = %v, want 7 (last writer wins)", got)
+	}
+	h := merged.Histograms["lat"]
+	if h.Count != 3 {
+		t.Errorf("merged histogram count = %d, want 3", h.Count)
+	}
+	if want := []int64{1, 1, 1}; len(h.Counts) != 3 || h.Counts[0] != want[0] || h.Counts[1] != want[1] || h.Counts[2] != want[2] {
+		t.Errorf("merged buckets = %v, want %v", h.Counts, want)
+	}
+	if math.Abs(h.Sum-105.5) > 1e-9 {
+		t.Errorf("merged sum = %v, want 105.5", h.Sum)
+	}
+}
+
+func TestSnapshotMergeIntoZeroValue(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	var merged Snapshot // zero maps: Merge must allocate them
+	if err := merged.Merge(r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Counters["c"] != 1 || merged.Histograms["h"].Count != 1 {
+		t.Errorf("merge into zero snapshot lost data: %+v", merged)
+	}
+	// Merging into a fresh target must not alias the source's buckets.
+	src := r.Snapshot()
+	if err := merged.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	if src.Histograms["h"].Counts[0] != 1 {
+		t.Errorf("merge mutated the source snapshot: %v", src.Histograms["h"].Counts)
+	}
+}
+
+func TestSnapshotMergeRejectsMismatchedBounds(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Histogram("h", []float64{1, 2}).Observe(1)
+	rb.Histogram("h", []float64{1, 3}).Observe(1)
+	a := ra.Snapshot()
+	if err := a.Merge(rb.Snapshot()); err == nil {
+		t.Fatal("merging histograms with different bounds should error")
+	}
+	rc := NewRegistry()
+	rc.Histogram("h", []float64{1}).Observe(1)
+	b := ra.Snapshot()
+	if err := b.Merge(rc.Snapshot()); err == nil {
+		t.Fatal("merging histograms with different bucket counts should error")
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	// Empty histogram: no estimate.
+	empty := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []int64{0, 0, 0}}
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Errorf("empty histogram quantile = %v, want NaN", empty.Quantile(0.5))
+	}
+
+	// Single sample: every quantile interpolates inside its bucket and
+	// stays within the bucket's bounds.
+	single := snapWith(NewRegistry().Histogram("s", []float64{1, 2, 4}), 1.5)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		got := single.Quantile(q)
+		if got < 1 || got > 2 {
+			t.Errorf("single-sample Quantile(%v) = %v, want within (1, 2]", q, got)
+		}
+	}
+	if got := single.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("single-sample Quantile(1) = %v, want upper bound 2", got)
+	}
+
+	// Zero-count buckets between populated ones do not break the scan.
+	gaps := snapWith(NewRegistry().Histogram("g", []float64{1, 2, 4, 8}), 0.5, 0.6, 7, 7.5)
+	if got := gaps.Quantile(0.25); got > 1 {
+		t.Errorf("Quantile(0.25) = %v, want inside first bucket (≤1)", got)
+	}
+	if got := gaps.Quantile(0.9); got < 4 || got > 8 {
+		t.Errorf("Quantile(0.9) = %v, want inside (4, 8] bucket", got)
+	}
+
+	// Ranks in the +Inf bucket saturate at the last finite bound.
+	inf := snapWith(NewRegistry().Histogram("i", []float64{1, 2}), 100, 200, 300)
+	if got := inf.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf-bucket quantile = %v, want saturation at 2", got)
+	}
+
+	// Out-of-range q clamps instead of panicking.
+	if got := inf.Quantile(2); got != 2 {
+		t.Errorf("Quantile(2) = %v, want clamp to 1 → 2", got)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	// 100 samples uniform over (0, 10] in ten unit buckets: the estimator
+	// should land near the true quantiles.
+	h := NewRegistry().Histogram("u", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i)*0.1 + 0.05)
+	}
+	snap := snapWith(h)
+	for _, tc := range []struct{ q, want float64 }{{0.5, 5}, {0.75, 7.5}, {0.9, 9}} {
+		if got := snap.Quantile(tc.q); math.Abs(got-tc.want) > 0.2 {
+			t.Errorf("Quantile(%v) = %v, want ≈ %v", tc.q, got, tc.want)
+		}
+	}
+}

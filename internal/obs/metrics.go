@@ -152,12 +152,108 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation inside the bucket that contains
+// the target rank — the standard Prometheus histogram_quantile estimate.
+// An empty snapshot returns NaN; ranks landing in the +Inf bucket return
+// the last finite bound (the estimate saturates, as in Prometheus).
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count <= 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		if float64(cum) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.Bounds[i-1]
+			}
+			inBucket := float64(h.Counts[i])
+			if inBucket == 0 {
+				return bound
+			}
+			below := float64(cum) - inBucket
+			return lower + (bound-lower)*(rank-below)/inBucket
+		}
+	}
+	if len(h.Bounds) == 0 {
+		return math.NaN()
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// merge folds another histogram snapshot into h. Bucket layouts must
+// match; mismatches report an error so callers do not silently sum
+// incompatible distributions.
+func (h *HistogramSnapshot) merge(other HistogramSnapshot) error {
+	if len(other.Bounds) != len(h.Bounds) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d bounds", len(other.Bounds), len(h.Bounds))
+	}
+	for i := range h.Bounds {
+		if h.Bounds[i] != other.Bounds[i] {
+			return fmt.Errorf("obs: merging histograms with different bounds at %d: %v vs %v",
+				i, h.Bounds[i], other.Bounds[i])
+		}
+	}
+	for i := range h.Counts {
+		h.Counts[i] += other.Counts[i]
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
+	return nil
+}
+
 // Snapshot is a Registry frozen at a point in time, suitable for JSON
 // encoding (it is what the expvar exposition serves).
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Merge folds other into s: counters add, histograms merge bucket-wise
+// (same-name histograms must share bucket layouts), and gauges take
+// other's value (last writer wins — gauges are point-in-time levels, not
+// accumulations). It is how multi-registry runs (one registry per shard
+// or per simulation) combine into a single exposition.
+func (s *Snapshot) Merge(other Snapshot) error {
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]float64)
+	}
+	if s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot)
+	}
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range other.Gauges {
+		s.Gauges[name] = v
+	}
+	for name, oh := range other.Histograms {
+		mine, ok := s.Histograms[name]
+		if !ok {
+			mine = HistogramSnapshot{
+				Bounds: append([]float64(nil), oh.Bounds...),
+				Counts: make([]int64, len(oh.Counts)),
+			}
+		}
+		if err := mine.merge(oh); err != nil {
+			return fmt.Errorf("%w (histogram %q)", err, name)
+		}
+		s.Histograms[name] = mine
+	}
+	return nil
 }
 
 // Registry holds named metrics. Lookups are get-or-create: the first caller

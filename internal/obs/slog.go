@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// The sim-time slog handler makes every structured log record carry both
+// clocks the reproduction runs on: the wall clock (slog's standard "time"
+// attribute, stamped by log/slog itself) and the simulation clock (a
+// "sim_hours" attribute). Emitters inside the event loop attach sim_hours
+// explicitly — they know the exact event time — and records from outside
+// the loop fall back to the handler's sim-time gauge, which the
+// instrumented DES kernel keeps current (des_sim_hours). Either way a log
+// line is joinable against trace spans and health-engine transitions on
+// the simulation timeline.
+
+// SimHoursKey is the attribute key carrying simulation time in hours since
+// the epoch. Emitters with exact event times attach it themselves; the
+// handler adds it (from its gauge) when absent.
+const SimHoursKey = "sim_hours"
+
+// SimHours is a convenience constructor for the simulation-time attribute.
+func SimHours(hours float64) slog.Attr { return slog.Float64(SimHoursKey, hours) }
+
+// SimHandler is a slog.Handler that decorates an inner text or JSON
+// handler with the simulation clock. Construct with NewSimHandler.
+type SimHandler struct {
+	inner slog.Handler
+	sim   *Gauge // fallback sim-time source; may be nil
+}
+
+// ParseLogLevel maps the -log-level flag vocabulary (debug, info, warn,
+// error) to a slog.Level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", s)
+}
+
+// NewSimHandler returns a SimHandler writing to w in the given format
+// ("text" or "json"), filtering below level, and reading fallback
+// simulation time from sim (usually the registry's des_sim_hours gauge;
+// nil disables the fallback). Writes to w are serialized by an internal
+// mutex, so one handler may receive records from concurrent simulations.
+func NewSimHandler(w io.Writer, format string, level slog.Leveler, sim *Gauge) (*SimHandler, error) {
+	lw := &lockedWriter{w: w}
+	opts := &slog.HandlerOptions{Level: level}
+	var inner slog.Handler
+	switch strings.ToLower(format) {
+	case "text", "":
+		inner = slog.NewTextHandler(lw, opts)
+	case "json":
+		inner = slog.NewJSONHandler(lw, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text, json)", format)
+	}
+	return &SimHandler{inner: inner, sim: sim}, nil
+}
+
+// lockedWriter serializes writes: slog handlers guarantee atomicity per
+// record, but two handlers sharing a file (or one handler fed from two
+// goroutines mid-simulation) still need the file-level lock.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// Enabled implements slog.Handler.
+func (h *SimHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler: records lacking a sim_hours attribute
+// gain one from the handler's gauge, so every line carries both clocks.
+func (h *SimHandler) Handle(ctx context.Context, r slog.Record) error {
+	if h.sim != nil && !hasSimHours(r) {
+		r.AddAttrs(SimHours(h.sim.Value()))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func hasSimHours(r slog.Record) bool {
+	found := false
+	r.Attrs(func(a slog.Attr) bool {
+		if a.Key == SimHoursKey {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// WithAttrs implements slog.Handler.
+func (h *SimHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &SimHandler{inner: h.inner.WithAttrs(attrs), sim: h.sim}
+}
+
+// WithGroup implements slog.Handler.
+func (h *SimHandler) WithGroup(name string) slog.Handler {
+	return &SimHandler{inner: h.inner.WithGroup(name), sim: h.sim}
+}

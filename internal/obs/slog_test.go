@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSimHandlerInjectsGaugeFallback(t *testing.T) {
+	r := NewRegistry()
+	sim := r.Gauge("des_sim_hours")
+	sim.Set(1234.5)
+	var buf bytes.Buffer
+	h, err := NewSimHandler(&buf, "json", slog.LevelInfo, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slog.New(h).Info("fault injected", "device", "rsw")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if got := rec[SimHoursKey]; got != 1234.5 {
+		t.Errorf("sim_hours = %v, want 1234.5 from gauge", got)
+	}
+	if _, ok := rec["time"]; !ok {
+		t.Error("record lost the wall-clock time attribute")
+	}
+}
+
+func TestSimHandlerExplicitAttrWins(t *testing.T) {
+	r := NewRegistry()
+	sim := r.Gauge("des_sim_hours")
+	sim.Set(999)
+	var buf bytes.Buffer
+	h, err := NewSimHandler(&buf, "json", slog.LevelInfo, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slog.New(h).Info("repair done", SimHours(42))
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec[SimHoursKey]; got != 42.0 {
+		t.Errorf("sim_hours = %v, want explicit 42 to win over gauge 999", got)
+	}
+	if n := strings.Count(buf.String(), SimHoursKey); n != 1 {
+		t.Errorf("sim_hours appears %d times, want exactly once:\n%s", n, buf.String())
+	}
+}
+
+func TestSimHandlerNilGaugeAndText(t *testing.T) {
+	var buf bytes.Buffer
+	h, err := NewSimHandler(&buf, "text", slog.LevelWarn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := slog.New(h)
+	log.Info("filtered out")
+	log.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "filtered out") {
+		t.Error("level filter did not drop info record")
+	}
+	if !strings.Contains(out, "kept") {
+		t.Errorf("warn record missing: %q", out)
+	}
+	if strings.Contains(out, SimHoursKey) {
+		t.Errorf("nil gauge must not inject sim_hours: %q", out)
+	}
+}
+
+func TestSimHandlerWithAttrsAndGroupKeepGauge(t *testing.T) {
+	r := NewRegistry()
+	sim := r.Gauge("des_sim_hours")
+	sim.Set(7)
+	var buf bytes.Buffer
+	h, err := NewSimHandler(&buf, "json", slog.LevelInfo, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slog.New(h).With("component", "health").WithGroup("alert").Info("firing", "rule", "fast-burn")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["component"] != "health" {
+		t.Errorf("WithAttrs attribute lost: %v", rec)
+	}
+	grp, _ := rec["alert"].(map[string]any)
+	if grp == nil || grp["rule"] != "fast-burn" {
+		t.Errorf("WithGroup nesting lost: %v", rec)
+	}
+	// sim_hours lands inside the open group for grouped records — the
+	// contract is that it is present somewhere, sourced from the gauge.
+	if rec[SimHoursKey] != 7.0 && grp[SimHoursKey] != 7.0 {
+		t.Errorf("derived handler lost the sim gauge: %v", rec)
+	}
+}
+
+func TestSimHandlerConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	sim := r.Gauge("des_sim_hours")
+	var buf bytes.Buffer
+	h, err := NewSimHandler(&buf, "json", slog.LevelInfo, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := slog.New(h)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sim.Set(float64(i))
+				log.Info("event", "worker", w, "i", i)
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d log lines, want 400", len(lines))
+	}
+	for _, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("interleaved write produced invalid JSON line: %v\n%s", err, ln)
+		}
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want slog.Level
+	}{
+		{"debug", slog.LevelDebug},
+		{"info", slog.LevelInfo},
+		{"", slog.LevelInfo},
+		{"WARN", slog.LevelWarn},
+		{"warning", slog.LevelWarn},
+		{"error", slog.LevelError},
+	} {
+		got, err := ParseLogLevel(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("ParseLogLevel accepted bogus level")
+	}
+	if _, err := NewSimHandler(&bytes.Buffer{}, "xml", slog.LevelInfo, nil); err == nil {
+		t.Error("NewSimHandler accepted bogus format")
+	}
+}

@@ -132,3 +132,68 @@ func TestConcurrentEmit(t *testing.T) {
 		t.Errorf("events = %d, want %d", tr.Len(), workers*per)
 	}
 }
+
+// TestConcurrentFlushAndRecord exercises flushing (WriteJSON/Events/Len)
+// while recorders are still emitting — the repro server can serve a trace
+// dump mid-simulation, so snapshots must be internally consistent and
+// every flush must parse as a complete Chrome trace. Run under -race.
+func TestConcurrentFlushAndRecord(t *testing.T) {
+	tr := NewTracer()
+	const workers, per, flushes = 4, 300, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				switch i % 3 {
+				case 0:
+					tr.BeginOn(w+1, "work", "flush-race").End()
+				case 1:
+					tr.Instant("tick", "flush-race", nil)
+				default:
+					tr.CounterSample("depth", float64(i))
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prev := 0
+		for i := 0; i < flushes; i++ {
+			var buf bytes.Buffer
+			if err := tr.WriteJSON(&buf); err != nil {
+				t.Errorf("flush %d: WriteJSON: %v", i, err)
+				return
+			}
+			var f struct {
+				TraceEvents []Event `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+				t.Errorf("flush %d: invalid trace JSON: %v", i, err)
+				return
+			}
+			// Events only accumulate; a later flush can never see fewer.
+			n := len(tr.Events())
+			if n < prev {
+				t.Errorf("flush %d: events shrank %d -> %d", i, prev, n)
+				return
+			}
+			prev = n
+			if tr.Len() < n {
+				t.Errorf("flush %d: Len()=%d < observed %d", i, tr.Len(), n)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := tr.Len(); got != workers*per {
+		t.Errorf("final events = %d, want %d", got, workers*per)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("final WriteJSON: %v", err)
+	}
+}

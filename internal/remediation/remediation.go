@@ -13,6 +13,7 @@ package remediation
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"dcnr/internal/des"
@@ -214,6 +215,7 @@ type Engine struct {
 	hWait      *obs.Histogram
 	hRepair    *obs.Histogram
 	tracer     *obs.Tracer
+	logger     *slog.Logger
 }
 
 // NewEngine returns an enabled Engine drawing randomness from rng and
@@ -252,6 +254,15 @@ func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	e.tracer = tr
 }
 
+// SetLogger attaches a structured logger: escalations log at debug with
+// the simulation clock (incidents themselves are logged upstream by the
+// faults driver, so info stays readable). Nil detaches.
+func (e *Engine) SetLogger(l *slog.Logger) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.logger = l
+}
+
 // SetEnabled turns the engine on or off. A disabled engine escalates every
 // fault — the §5.6 ablation.
 func (e *Engine) SetEnabled(v bool) {
@@ -287,6 +298,12 @@ func (e *Engine) Submit(t topology.DeviceType, class FaultClass, done func(Outco
 	if !e.enabled || !pol.supported || e.rng.Bool(pol.escalate) {
 		st.Escalated++
 		e.mEscalated.Inc()
+		if e.logger != nil {
+			e.logger.Debug("repair escalated",
+				slog.String("device_type", t.String()),
+				slog.String("class", class.String()),
+				obs.SimHours(e.sim.Now()))
+		}
 		if e.tracer != nil {
 			e.tracer.SimInstant(int(t)+1, "remediation", "escalated: "+class.String(),
 				e.sim.Now(), map[string]any{"device_type": t.String()})

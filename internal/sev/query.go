@@ -13,15 +13,11 @@ import (
 // Evaluation uses the store's secondary indexes: every set-valued predicate
 // (year, device type, severity, design, root cause) selects a posting list,
 // the lists are intersected starting from the smallest, and the Since/Until
-// window is applied as a residual filter over the candidates. A query with
-// no indexed predicate falls back to a sequential scan.
-//
-// Note that Since and Until alone do NOT engage an index: a query narrowed
-// only by the time window (for example Query().Since(a).Until(b)) silently
-// takes the sequential-scan path, because start times have no posting
-// list. Combine the window with at least one set-valued predicate (Year is
-// the natural one — a window rarely spans many years) to stay on the index
-// path. An instrumented store (Store.Instrument) counts the two paths as
+// window is applied as a residual filter over the candidates. A query
+// narrowed only by the time window (for example Query().Since(a).Until(b))
+// binary-searches the store's start-time-sorted index for the matching
+// range instead; only a query with no predicate at all scans sequentially.
+// An instrumented store (Store.Instrument) counts the two paths as
 // sev_queries_indexed_total vs sev_queries_scan_total, so scan regressions
 // show up in metrics instead of only in latency.
 type Query struct {
@@ -187,6 +183,19 @@ func (q Query) forEach(fn func(pos int, r *Report)) {
 			if r := &s.reports[pos]; q.matchesWindow(r) {
 				fn(pos, r)
 			}
+		}
+		return
+	}
+	if q.since != nil || q.until != nil {
+		// Window-only query: binary search the start-time index for the
+		// matching range, then restore position order for the caller.
+		s.mIndexed.Inc()
+		in := s.startRangeLocked(q.since, q.until)
+		s.hCandidates.Observe(float64(len(in)))
+		candidates := append([]int(nil), in...)
+		sort.Ints(candidates)
+		for _, pos := range candidates {
+			fn(pos, &s.reports[pos])
 		}
 		return
 	}

@@ -36,6 +36,10 @@ type Store struct {
 	bySev    map[Severity][]int
 	byDesign map[topology.Design][]int
 	byCause  map[RootCause][]int
+	// byStart holds every position ordered by report start time (ties in
+	// position order), so pure Since/Until windows binary-search a
+	// contiguous range instead of scanning the whole store.
+	byStart []int
 
 	// Telemetry, attached by Instrument; nil fields are no-ops.
 	mIndexed    *obs.Counter
@@ -46,8 +50,8 @@ type Store struct {
 
 // Instrument attaches telemetry to the store's query engine. Metrics
 // registered on reg: sev_queries_indexed_total and sev_queries_scan_total
-// (counters — a rising scan count flags queries that silently bypass the
-// posting lists, e.g. pure Since/Until windows), sev_posting_list_size
+// (counters — a rising scan count flags queries with no predicate at all,
+// the only shape left that must touch every report), sev_posting_list_size
 // (histogram of each selected posting list's length), and
 // sev_query_candidates (histogram of post-intersection candidate counts).
 // reg may be nil.
@@ -81,6 +85,7 @@ func (s *Store) resetIndexLocked(capacity int) {
 	s.bySev = make(map[Severity][]int)
 	s.byDesign = make(map[topology.Design][]int)
 	s.byCause = make(map[RootCause][]int)
+	s.byStart = make([]int, 0, capacity)
 }
 
 // indexLocked appends index entries for the report at position pos. The
@@ -110,6 +115,37 @@ func (s *Store) indexLocked(pos int) {
 		}
 		s.byCause[c] = append(s.byCause[c], pos)
 	}
+	// Sorted insert into the time index. Simulated reports arrive in
+	// near-chronological order, so the search usually lands at the end and
+	// the copy moves nothing.
+	i := sort.Search(len(s.byStart), func(i int) bool {
+		return s.reports[s.byStart[i]].Start > r.Start
+	})
+	s.byStart = append(s.byStart, 0)
+	copy(s.byStart[i+1:], s.byStart[i:])
+	s.byStart[i] = pos
+}
+
+// startRangeLocked returns the positions of reports with Start in the
+// half-open window [since, until), ordered by start time; a nil bound is
+// unbounded on that side. Caller holds mu.
+func (s *Store) startRangeLocked(since, until *float64) []int {
+	lo := 0
+	if since != nil {
+		lo = sort.Search(len(s.byStart), func(i int) bool {
+			return s.reports[s.byStart[i]].Start >= *since
+		})
+	}
+	hi := len(s.byStart)
+	if until != nil {
+		hi = sort.Search(len(s.byStart), func(i int) bool {
+			return s.reports[s.byStart[i]].Start >= *until
+		})
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return s.byStart[lo:hi]
 }
 
 // Add validates r, assigns it an ID, and appends it. It returns the

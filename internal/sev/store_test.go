@@ -331,28 +331,102 @@ func TestQueryPathCounters(t *testing.T) {
 
 	s.Query().Year(2013).Count()                      // indexed: one posting list
 	s.Query().Year(2013).Severity(Sev2).Count()       // indexed: two posting lists
-	s.Query().Since(1000).Until(5000).Count()         // window only → sequential scan
+	s.Query().Since(1000).Until(5000).Count()         // window only → time index
 	s.Query().Count()                                 // no predicate → sequential scan
 	s.Query().Since(0).Year(2013).Severity(1).Count() // window + index → indexed
 
 	snap := reg.Snapshot()
-	if got := snap.Counters["sev_queries_indexed_total"]; got != 3 {
-		t.Errorf("indexed queries = %d, want 3", got)
+	if got := snap.Counters["sev_queries_indexed_total"]; got != 4 {
+		t.Errorf("indexed queries = %d, want 4", got)
 	}
-	if got := snap.Counters["sev_queries_scan_total"]; got != 2 {
-		t.Errorf("scan queries = %d, want 2", got)
+	if got := snap.Counters["sev_queries_scan_total"]; got != 1 {
+		t.Errorf("scan queries = %d, want 1", got)
 	}
-	// Posting lists observed: 1 + 2 + 2 = 5 across the indexed queries.
+	// Posting lists observed: 1 + 2 + 2 = 5 across the posting-list
+	// queries (the time index has no posting list).
 	if got := snap.Histograms["sev_posting_list_size"].Count; got != 5 {
 		t.Errorf("posting list observations = %d, want 5", got)
 	}
-	if got := snap.Histograms["sev_query_candidates"].Count; got != 3 {
-		t.Errorf("candidate observations = %d, want 3", got)
+	if got := snap.Histograms["sev_query_candidates"].Count; got != 4 {
+		t.Errorf("candidate observations = %d, want 4", got)
 	}
 	// An un-instrumented store still answers identically.
 	s2 := indexStore(t)
 	if s2.Query().Year(2013).Count() != s.Query().Year(2013).Count() {
 		t.Error("instrumentation changed query results")
+	}
+}
+
+// TestWindowQueriesUseTimeIndex pins the former scan trap: a query narrowed
+// only by Since/Until must take the start-time index, leaving
+// sev_queries_scan_total untouched, and must agree with the brute-force
+// predicate even when reports were added out of chronological order.
+func TestWindowQueriesUseTimeIndex(t *testing.T) {
+	s := NewStore()
+	// Starts deliberately out of order, with a tie at 500.
+	for i, start := range []float64{3000, 500, 9000, 500, 0, 7000, 1500} {
+		r := Report{
+			Severity: Sev3, Device: "rsw001.cl001.dc1.ra",
+			Start: start, Duration: 1, Resolution: 2, Year: 2011 + i%3,
+		}
+		if _, err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+
+	windows := []struct{ since, until float64 }{
+		{0, 10000},   // everything
+		{500, 3000},  // interior, includes the tied starts
+		{501, 3001},  // bounds between starts
+		{9000, 9000}, // empty: until == since
+		{8000, 1000}, // degenerate: until < since
+	}
+	for _, w := range windows {
+		got := s.Query().Since(w.since).Until(w.until).Reports()
+		want := 0
+		for _, r := range s.All() {
+			if r.Start >= w.since && r.Start < w.until {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Errorf("[%v,%v) returned %d reports, want %d", w.since, w.until, len(got), want)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].ID <= got[i-1].ID {
+				t.Errorf("[%v,%v) results out of ID order", w.since, w.until)
+			}
+		}
+	}
+	// One-sided windows ride the same index.
+	if got := s.Query().Since(1500).Count(); got != 4 {
+		t.Errorf("Since(1500).Count() = %d, want 4", got)
+	}
+	if got := s.Query().Until(1500).Count(); got != 3 {
+		t.Errorf("Until(1500).Count() = %d, want 3", got)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["sev_queries_scan_total"]; got != 0 {
+		t.Errorf("window queries scanned %d times, want 0 (time index)", got)
+	}
+	if got := snap.Counters["sev_queries_indexed_total"]; got != int64(len(windows)+2) {
+		t.Errorf("indexed queries = %d, want %d", got, len(windows)+2)
+	}
+
+	// The index survives a ReadJSON rebuild from shuffled input.
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	if err := s2.ReadJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s2.Query().Since(500).Until(3000).Count(), s.Query().Since(500).Until(3000).Count(); got != want {
+		t.Errorf("rebuilt index count = %d, want %d", got, want)
 	}
 }
 

@@ -34,13 +34,16 @@ func TestSimulateIntraDCInstrumented(t *testing.T) {
 		t.Errorf("remediation outcomes %d != submissions %d", got, snap.Counters["remediation_submitted_total"])
 	}
 
-	// Analysis queries hit the instrumented store: an indexed query and a
-	// window-only scan each bump their path counter.
+	// Analysis queries hit the instrumented store. Both a posting-list
+	// query and a window-only query ride the indexed path (the latter via
+	// the start-time index); only a predicate-free query scans.
+	indexedBefore := snap.Counters["sev_queries_indexed_total"]
 	res.Store.Query().Year(2017).Count()
 	res.Store.Query().Since(0).Count()
+	res.Store.Query().Count()
 	snap = reg.Snapshot()
-	if snap.Counters["sev_queries_indexed_total"] == 0 {
-		t.Error("indexed query not counted")
+	if got := snap.Counters["sev_queries_indexed_total"] - indexedBefore; got != 2 {
+		t.Errorf("indexed queries counted = %d, want 2", got)
 	}
 	if snap.Counters["sev_queries_scan_total"] == 0 {
 		t.Error("scan-path query not counted")

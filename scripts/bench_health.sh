@@ -1,0 +1,89 @@
+#!/bin/sh
+# Measure the streaming SLO/health engine's cost and record it in
+# BENCH_health.json at the repo root:
+#
+#   - end-to-end wall time of dcsim, baseline vs with the health engine
+#     (-health-out) vs with the engine plus structured warn-level logging,
+#     best of N runs;
+#   - the health micro-benchmarks (record/evaluate/report ns/op, live and
+#     through the nil no-op engine).
+#
+# The guardrail is the engine overhead: a default-scale dcsim run with
+# -health-out must stay within 5% of the uninstrumented one. The engine
+# sees every fault/repair/incident and evaluates daily, so this bounds the
+# cost of always-on SLO tracking.
+#
+# Usage: scripts/bench_health.sh [reps]
+set -eu
+
+cd "$(dirname "$0")/.."
+REPS="${1:-3}"
+OUT="BENCH_health.json"
+BIN="$(mktemp -d)"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$BIN" "$WORK"' EXIT
+
+go build -o "$BIN/dcsim" ./cmd/dcsim
+
+now_ms() { date +%s%N | awk '{ printf "%.3f", $1 / 1000000 }'; }
+
+time_ms() {
+	start=$(now_ms)
+	"$@" >/dev/null 2>&1
+	end=$(now_ms)
+	awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }'
+}
+
+min() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", (a == "" || b < a) ? b : a }'; }
+
+pct_over() { awk -v base="$1" -v inst="$2" 'BEGIN { printf "%.2f", (inst - base) / base * 100 }'; }
+
+# Variants interleave within each rep so machine-load drift hits every
+# variant alike; each variant's best-of-REPS is then compared.
+BASE="" HEALTH="" HEALTH_LOGGED=""
+i=0
+while [ "$i" -lt "$REPS" ]; do
+	echo "rep $((i + 1))/$REPS" >&2
+	BASE=$(min "$BASE" "$(time_ms "$BIN/dcsim" -seed 1 -out "$WORK/base")")
+	HEALTH=$(min "$HEALTH" "$(time_ms "$BIN/dcsim" -seed 1 -out "$WORK/h" -health-out "$WORK/health.json")")
+	HEALTH_LOGGED=$(min "$HEALTH_LOGGED" "$(time_ms "$BIN/dcsim" -seed 1 -out "$WORK/hl" -health-out "$WORK/health2.json" -log-level warn -log-format json)")
+	i=$((i + 1))
+done
+
+echo "health micro-benchmarks" >&2
+MICRO=$(go test -run '^$' -bench 'BenchmarkHealth' -benchtime 100ms ./internal/obs/health/ |
+	awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			names[++n] = name
+			nsop[name] = $3
+		}
+		END {
+			for (i = 1; i <= n; i++)
+				printf "    \"%s\": %s%s\n", names[i], nsop[names[i]], i < n ? "," : ""
+		}
+	')
+
+{
+	printf '{\n'
+	printf '  "goos": "%s",\n' "$(go env GOOS)"
+	printf '  "goarch": "%s",\n' "$(go env GOARCH)"
+	printf '  "reps": %s,\n' "$REPS"
+	printf '  "end_to_end_ms": {\n'
+	printf '    "dcsim_baseline": %s,\n' "$BASE"
+	printf '    "dcsim_health": %s,\n' "$HEALTH"
+	printf '    "dcsim_health_logged": %s\n' "$HEALTH_LOGGED"
+	printf '  },\n'
+	printf '  "overhead_pct": {\n'
+	printf '    "dcsim_health": %s,\n' "$(pct_over "$BASE" "$HEALTH")"
+	printf '    "dcsim_health_logged": %s\n' "$(pct_over "$BASE" "$HEALTH_LOGGED")"
+	printf '  },\n'
+	printf '  "ns_per_op": {\n'
+	printf '%s\n' "$MICRO"
+	printf '  }\n'
+	printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT"
+awk '/dcsim_health/ && /,$/ { gsub(/[ ",]/, ""); print "  " $0 }' "$OUT" >&2

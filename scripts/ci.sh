@@ -2,11 +2,14 @@
 # The CI gate, fail-fast and in dependency order: cheap structural checks
 # before expensive dynamic ones.
 #
-#   1. build     - everything compiles
-#   2. vet       - stock go vet
-#   3. lint      - cmd/dcnrlint project invariants + gofmt cleanliness
-#   4. race      - full test suite under the race detector
-#   5. test-obs  - focused race pass over telemetry + instrumented paths
+#   1. build       - everything compiles
+#   2. vet         - stock go vet
+#   3. lint        - cmd/dcnrlint project invariants + gofmt cleanliness
+#   4. race        - full test suite under the race detector
+#   5. test-obs    - focused race pass over telemetry + instrumented paths
+#   6. test-health - focused race pass over the SLO engine and its wiring;
+#                    on failure an elevated-run SLO report is dumped to
+#                    health_slo_failure.json for triage
 #
 # Steps 3-5 are the layered defense for the PR-2 race class: heaplock
 # flags unlocked DES-heap scheduling statically, and the remediation
@@ -28,5 +31,17 @@ step vet make vet
 step lint make lint
 step race make race
 step test-obs make test-obs
+
+# The health gate dumps a full /slo-shaped report from an elevated run on
+# failure, so a broken alert pipeline leaves its state behind as an
+# artifact instead of only a test log.
+echo "==> ci: test-health"
+if ! make test-health; then
+	echo "==> ci: test-health failed; dumping elevated-run SLO report" >&2
+	go run ./cmd/dcsim -seed 7 -elevate-year 2014 -elevate-factor 5 \
+		-out "$(mktemp -d)" -health-out health_slo_failure.json >&2 || true
+	echo "==> ci: SLO report at health_slo_failure.json" >&2
+	exit 1
+fi
 
 echo "==> ci: all gates passed"
