@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify ci bench bench-sevquery bench-obs bench-health test-obs test-health
+.PHONY: build test vet lint race verify ci bench bench-sevquery bench-obs bench-health bench-sweep test-obs test-health api apicheck
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,16 @@ lint:
 	$(GO) run ./cmd/dcnrlint ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
+# api regenerates the exported-API golden file after an intentional
+# surface change; apicheck fails when the facade's exported API drifts
+# from the reviewed api.txt.
+api:
+	$(GO) run ./cmd/apidump > api.txt
+
+apicheck:
+	@$(GO) run ./cmd/apidump | diff -u api.txt - \
+		|| { echo "exported API drifted from api.txt; review and run 'make api'"; exit 1; }
 
 # race runs the full suite under the race detector — the new SEV store
 # indexes must stay consistent under concurrent Add + Query.
@@ -39,10 +49,10 @@ test-health:
 # verify is the tier-1 gate: vet, the static-analysis suite, and the
 # race-enabled test suite (which includes the obs package and all
 # instrumented packages).
-verify: vet lint race test-obs
+verify: vet lint apicheck race test-obs
 
 # ci is the ordered gate for continuous integration:
-# build -> vet -> lint -> race -> test-obs, fail-fast.
+# build -> vet -> lint -> apicheck -> race -> test-obs, fail-fast.
 ci:
 	./scripts/ci.sh
 
@@ -66,3 +76,10 @@ bench-obs:
 # under 5%.
 bench-health:
 	./scripts/bench_health.sh
+
+# bench-sweep measures the campaign engine: a 16-run seed sweep at scale 1
+# on 8 workers vs 1 worker, recorded in BENCH_sweep.json along with the
+# machine's CPU count. It also hard-verifies determinism: the parallel and
+# serial reports (and a repeated parallel run) must be byte-identical.
+bench-sweep:
+	./scripts/bench_sweep.sh

@@ -16,12 +16,67 @@ import (
 	"dcnr/internal/notify"
 	"dcnr/internal/obs"
 	"dcnr/internal/obs/health"
+	"dcnr/internal/observe"
 	"dcnr/internal/remediation"
 	"dcnr/internal/sev"
+	"dcnr/internal/sim"
 	"dcnr/internal/stats"
+	"dcnr/internal/sweep"
 	"dcnr/internal/tickets"
 	"dcnr/internal/topology"
 )
+
+// Observe bundles the observability wiring shared by every simulation
+// entry point: Metrics, Trace, Health, and Logger. It is embedded by
+// IntraConfig, BackboneConfig, and SweepConfig; set it once and pass the
+// same struct to any plane:
+//
+//	o := dcnr.Observe{Metrics: dcnr.NewMetricsRegistry()}
+//	res, err := dcnr.SimulateIntraDC(dcnr.IntraConfig{Observe: o})
+type Observe = observe.Observe
+
+// IntraConfig parameterizes the intra-data-center simulation. The
+// embedded Observe struct carries the observability wiring; the flat
+// Metrics/Trace/Health/Logger fields remain as deprecated passthroughs.
+type IntraConfig = sim.IntraConfig
+
+// IntraResult carries the generated dataset and its analysis handles.
+type IntraResult = sim.IntraResult
+
+// BackboneResult carries the generated backbone dataset and its analysis.
+type BackboneResult = sim.BackboneResult
+
+// SweepConfig parameterizes a scenario-sweep campaign: the seed × scale ×
+// scenario grid, the worker-pool bound, and the JSONL results stream.
+type SweepConfig = sweep.Config
+
+// SweepScenario is one named variant of the simulation inside a sweep —
+// the baseline, the no-remediation ablation, a burn drill, or a year
+// slice.
+type SweepScenario = sweep.Scenario
+
+// SweepRunStats is the per-run record a sweep reduces each simulation to:
+// one JSON line of the Results stream.
+type SweepRunStats = sweep.RunStats
+
+// SweepBand is the cross-run distribution of one statistic: mean with an
+// empirical p5–p95 band.
+type SweepBand = sweep.Band
+
+// SweepGroup aggregates every run sharing a (scenario, scale) cell.
+type SweepGroup = sweep.Group
+
+// SweepReport is the aggregated campaign output, deterministic for a
+// given grid; write it with SweepResult.WriteReport.
+type SweepReport = sweep.Report
+
+// SweepResult is a completed campaign: report, per-run records, and the
+// merged metrics of every instrumented run.
+type SweepResult = sweep.Result
+
+// DefaultSweepScenarios returns the standard campaign scenarios: baseline,
+// the §5.6 no-remediation ablation, and a 5× burn drill in 2014.
+func DefaultSweepScenarios() []SweepScenario { return sweep.DefaultScenarios() }
 
 // Study period bounds.
 const (

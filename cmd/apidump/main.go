@@ -1,0 +1,130 @@
+// Command apidump prints the exported API surface of a package in a
+// stable, diffable text form: every exported constant, variable, function,
+// and type — with exported struct fields and exported methods expanded —
+// one declaration per line, sorted.
+//
+// Usage:
+//
+//	apidump [-dir DIR] [PATTERN]
+//
+// PATTERN defaults to "." (the package in DIR). The repository pins the
+// facade's surface in api.txt; `make apicheck` regenerates the dump and
+// fails on any drift, so changes to the public API are always explicit in
+// review. Regenerate the golden file with `make api` after an intentional
+// change.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+
+	"dcnr/internal/analyzers"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory to resolve the package pattern in")
+	flag.Parse()
+	pattern := "."
+	if flag.NArg() > 0 {
+		pattern = flag.Arg(0)
+	}
+	if err := run(os.Stdout, *dir, pattern); err != nil {
+		fmt.Fprintln(os.Stderr, "apidump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w *os.File, dir, pattern string) error {
+	pkgs, err := analyzers.Load(dir, []string{pattern})
+	if err != nil {
+		return err
+	}
+	for _, pkg := range pkgs {
+		for _, line := range dump(pkg.Types) {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// qual renders every foreign package by its full import path, so the dump
+// never depends on import aliasing.
+func qual(p *types.Package) string { return p.Path() }
+
+// dump renders one package's exported surface as sorted text lines.
+func dump(pkg *types.Package) []string {
+	var lines []string
+	scope := pkg.Scope()
+	for _, name := range scope.Names() { // already sorted
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Const:
+			lines = append(lines, fmt.Sprintf("const %s %s = %s",
+				name, types.TypeString(o.Type(), qual), o.Val()))
+		case *types.Var:
+			lines = append(lines, fmt.Sprintf("var %s %s",
+				name, types.TypeString(o.Type(), qual)))
+		case *types.Func:
+			lines = append(lines, "func "+name+strings.TrimPrefix(
+				types.TypeString(o.Type(), qual), "func"))
+		case *types.TypeName:
+			lines = append(lines, dumpType(o)...)
+		}
+	}
+	return lines
+}
+
+// dumpType renders a type declaration plus its exported fields and
+// methods, each on its own line so a diff pinpoints the changed member.
+func dumpType(o *types.TypeName) []string {
+	name := o.Name()
+	var lines []string
+	if o.IsAlias() {
+		// Resolve the alias chain so the dump names the real target, not
+		// the alias itself.
+		lines = append(lines, fmt.Sprintf("type %s = %s",
+			name, types.TypeString(types.Unalias(o.Type()), qual)))
+	} else {
+		lines = append(lines, fmt.Sprintf("type %s %s",
+			name, types.TypeString(o.Type().Underlying(), qual)))
+	}
+	// Exported struct fields, one line each so a diff pinpoints the
+	// changed member; embedded structs surface as their own field line,
+	// their promoted members belong to the embedded type's dump.
+	if st, ok := o.Type().Underlying().(*types.Struct); ok {
+		if !o.IsAlias() {
+			// The underlying struct body would duplicate the field lines.
+			lines[0] = fmt.Sprintf("type %s struct", name)
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("  %s.%s %s",
+				name, f.Name(), types.TypeString(f.Type(), qual)))
+		}
+	}
+	// Exported methods via the pointer method set (the superset).
+	mset := types.NewMethodSet(types.NewPointer(o.Type()))
+	var methods []string
+	for i := 0; i < mset.Len(); i++ {
+		m := mset.At(i).Obj()
+		if !m.Exported() {
+			continue
+		}
+		methods = append(methods, fmt.Sprintf("  %s.%s%s",
+			name, m.Name(), strings.TrimPrefix(types.TypeString(m.Type(), qual), "func")))
+	}
+	sort.Strings(methods)
+	return append(lines, methods...)
+}

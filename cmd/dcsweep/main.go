@@ -1,0 +1,275 @@
+// Command dcsweep runs a scenario-sweep campaign: a grid of simulation
+// runs — seed × scale × scenario — across a bounded worker pool, with
+// per-run statistics streamed as JSONL and the paper's key statistics
+// aggregated into cross-run mean/p5/p95 bands.
+//
+// Usage:
+//
+//	dcsweep [-seeds CSV | -seed-base N -runs N] [-scales CSV]
+//	        [-scenarios SPEC] [-workers N] [-backbone]
+//	        [-out FILE] [-runs-out FILE] [-metrics-out FILE] [-trace FILE]
+//	        [-log-level LEVEL] [-log-format text|json]
+//
+// The grid is the cross product of seeds, scales, and scenarios. Seeds
+// come either from -seeds (comma-separated values) or the pair
+// -seed-base/-runs (N consecutive seeds starting at the base). -scenarios
+// is a comma-separated list of specs:
+//
+//	baseline              the full study period, remediation on
+//	no-remediation        the §5.6 ablation
+//	elevate:YEAR:FACTOR   burn drill — fault rates × FACTOR during YEAR
+//	default               shorthand for all three standard scenarios
+//
+// The aggregated report goes to -out (default sweep_report.json); it is
+// byte-identical for a given grid at any -workers value, so reports can be
+// diffed across machines and runs. With -runs-out, every per-run record is
+// streamed to FILE as JSON lines in run order; with -metrics-out, the
+// merged metrics snapshot of all runs; with -trace, a Chrome trace-event
+// file with one lane per pool worker. With -log-level, one progress record
+// per completed run goes to stderr.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strconv"
+	"strings"
+
+	"dcnr"
+)
+
+func main() {
+	var o options
+	flag.StringVar(&o.seeds, "seeds", "", "comma-separated seeds to sweep (overrides -seed-base/-runs)")
+	flag.Uint64Var(&o.seedBase, "seed-base", 1, "first seed when -seeds is not given")
+	flag.IntVar(&o.runs, "runs", 16, "number of consecutive seeds when -seeds is not given")
+	flag.StringVar(&o.scales, "scales", "1", "comma-separated fleet scales to sweep")
+	flag.StringVar(&o.scenarios, "scenarios", "baseline", "comma-separated scenario specs (baseline, no-remediation, elevate:YEAR:FACTOR, default)")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = one per CPU)")
+	flag.BoolVar(&o.backbone, "backbone", false, "add an inter-DC backbone leg to every run")
+	flag.StringVar(&o.out, "out", "sweep_report.json", "write the aggregated report to this file")
+	flag.StringVar(&o.runsOut, "runs-out", "", "stream per-run JSONL records to this file")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the merged metrics snapshot of all runs to this file")
+	flag.StringVar(&o.traceOut, "trace", "", "write a Chrome trace-event file to this file")
+	flag.StringVar(&o.logLevel, "log-level", "", "enable per-run progress logs to stderr at this level (debug, info, warn, error)")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log format: text or json")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "dcsweep:", err)
+		os.Exit(1)
+	}
+}
+
+// options collects every dcsweep knob; the defaults run a 16-seed baseline
+// sweep at scale 1.
+type options struct {
+	seeds      string
+	seedBase   uint64
+	runs       int
+	scales     string
+	scenarios  string
+	workers    int
+	backbone   bool
+	out        string
+	runsOut    string
+	metricsOut string
+	traceOut   string
+	logLevel   string
+	logFormat  string
+	logW       io.Writer // log destination; nil means os.Stderr
+	stdout     io.Writer // summary destination; nil means os.Stdout
+}
+
+func run(o options) error {
+	seeds, err := parseSeeds(o.seeds, o.seedBase, o.runs)
+	if err != nil {
+		return err
+	}
+	scales, err := parseInts(o.scales)
+	if err != nil {
+		return fmt.Errorf("-scales: %w", err)
+	}
+	scenarios, err := parseScenarios(o.scenarios)
+	if err != nil {
+		return err
+	}
+
+	cfg := dcnr.SweepConfig{
+		Seeds:     seeds,
+		Scales:    scales,
+		Scenarios: scenarios,
+		Workers:   o.workers,
+		Backbone:  o.backbone,
+	}
+
+	// Telemetry is opt-in, exactly as in dcsim: nil wiring is a zero-cost
+	// no-op inside the runs.
+	var reg *dcnr.MetricsRegistry
+	if o.metricsOut != "" || o.logLevel != "" {
+		reg = dcnr.NewMetricsRegistry()
+		cfg.Observe.Metrics = reg
+	}
+	var tracer *dcnr.Tracer
+	if o.traceOut != "" {
+		tracer = dcnr.NewTracer()
+		cfg.Observe.Trace = tracer
+	}
+	if o.logLevel != "" {
+		level, err := dcnr.ParseLogLevel(o.logLevel)
+		if err != nil {
+			return err
+		}
+		w := o.logW
+		if w == nil {
+			w = os.Stderr
+		}
+		h, err := dcnr.NewSimLogHandler(w, o.logFormat, level, nil)
+		if err != nil {
+			return err
+		}
+		cfg.Observe.Logger = slog.New(h)
+	}
+
+	var runsFile *os.File
+	if o.runsOut != "" {
+		runsFile, err = os.Create(o.runsOut)
+		if err != nil {
+			return err
+		}
+		cfg.Results = runsFile
+	}
+	res, sweepErr := dcnr.Sweep(cfg)
+	if runsFile != nil {
+		if err := runsFile.Close(); err != nil && sweepErr == nil {
+			sweepErr = err
+		}
+	}
+	if sweepErr != nil {
+		return sweepErr
+	}
+
+	if err := writeFile(o.out, res.WriteReport); err != nil {
+		return err
+	}
+	stdout := o.stdout
+	if stdout == nil {
+		stdout = os.Stdout
+	}
+	if _, err := fmt.Fprintf(stdout, "sweep: %d runs (%d seeds × %d scales × %d scenarios) → %s\n",
+		len(res.Runs), len(cfg.Seeds), len(cfg.Scales), len(cfg.Scenarios), o.out); err != nil {
+		return err
+	}
+	for _, g := range res.Report.Groups {
+		if _, err := fmt.Fprintf(stdout, "  %s ×%d: incidents %.0f [p5 %.0f, p95 %.0f] over %d seeds\n",
+			g.Scenario, g.Scale, g.Incidents.Mean, g.Incidents.P5, g.Incidents.P95, g.Seeds); err != nil {
+			return err
+		}
+	}
+
+	if o.metricsOut != "" {
+		if err := writeFile(o.metricsOut, res.Metrics.WriteJSON); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(stdout, "metrics: %s\n", o.metricsOut); err != nil {
+			return err
+		}
+	}
+	if o.traceOut != "" {
+		if err := writeFile(o.traceOut, tracer.WriteJSON); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(stdout, "trace: %d events → %s\n", tracer.Len(), o.traceOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseSeeds resolves the seed list: an explicit CSV wins; otherwise runs
+// consecutive seeds starting at base.
+func parseSeeds(csv string, base uint64, runs int) ([]uint64, error) {
+	if csv != "" {
+		parts := strings.Split(csv, ",")
+		seeds := make([]uint64, 0, len(parts))
+		for _, p := range parts {
+			s, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-seeds: %w", err)
+			}
+			seeds = append(seeds, s)
+		}
+		return seeds, nil
+	}
+	if runs <= 0 {
+		return nil, fmt.Errorf("-runs must be positive, got %d", runs)
+	}
+	seeds := make([]uint64, runs)
+	for i := range seeds {
+		seeds[i] = base + uint64(i)
+	}
+	return seeds, nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseScenarios turns the -scenarios spec list into sweep scenarios.
+func parseScenarios(csv string) ([]dcnr.SweepScenario, error) {
+	var out []dcnr.SweepScenario
+	for _, spec := range strings.Split(csv, ",") {
+		spec = strings.TrimSpace(spec)
+		switch {
+		case spec == "default":
+			out = append(out, dcnr.DefaultSweepScenarios()...)
+		case spec == "baseline":
+			out = append(out, dcnr.SweepScenario{Name: "baseline"})
+		case spec == "no-remediation":
+			out = append(out, dcnr.SweepScenario{Name: "no-remediation", DisableRemediation: true})
+		case strings.HasPrefix(spec, "elevate:"):
+			parts := strings.Split(spec, ":")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("-scenarios: %q: want elevate:YEAR:FACTOR", spec)
+			}
+			year, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("-scenarios: %q: %w", spec, err)
+			}
+			factor, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("-scenarios: %q: %w", spec, err)
+			}
+			out = append(out, dcnr.SweepScenario{
+				Name:          fmt.Sprintf("elevate-%dx%g", year, factor),
+				ElevateYear:   year,
+				ElevateFactor: factor,
+			})
+		default:
+			return nil, fmt.Errorf("-scenarios: unknown spec %q", spec)
+		}
+	}
+	return out, nil
+}
+
+// writeFile creates path, streams the report through write, and closes the
+// file, losing neither the write error nor the close error.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return errors.Join(write(f), f.Close())
+}

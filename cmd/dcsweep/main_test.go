@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dcnr"
+)
+
+func TestParseSeeds(t *testing.T) {
+	seeds, err := parseSeeds("7, 9,11", 0, 0)
+	if err != nil {
+		t.Fatalf("parseSeeds: %v", err)
+	}
+	if want := []uint64{7, 9, 11}; !reflect.DeepEqual(seeds, want) {
+		t.Errorf("explicit seeds = %v, want %v", seeds, want)
+	}
+	seeds, err = parseSeeds("", 100, 3)
+	if err != nil {
+		t.Fatalf("parseSeeds(base): %v", err)
+	}
+	if want := []uint64{100, 101, 102}; !reflect.DeepEqual(seeds, want) {
+		t.Errorf("generated seeds = %v, want %v", seeds, want)
+	}
+	if _, err := parseSeeds("", 1, 0); err == nil {
+		t.Errorf("parseSeeds accepted zero runs")
+	}
+	if _, err := parseSeeds("1,x", 0, 0); err == nil {
+		t.Errorf("parseSeeds accepted a non-numeric seed")
+	}
+}
+
+func TestParseScenarios(t *testing.T) {
+	scs, err := parseScenarios("baseline,no-remediation,elevate:2014:5")
+	if err != nil {
+		t.Fatalf("parseScenarios: %v", err)
+	}
+	if len(scs) != 3 {
+		t.Fatalf("got %d scenarios, want 3", len(scs))
+	}
+	if !scs[1].DisableRemediation {
+		t.Errorf("no-remediation spec did not disable remediation")
+	}
+	if scs[2].ElevateYear != 2014 || scs[2].ElevateFactor != 5 {
+		t.Errorf("elevate spec parsed as %+v", scs[2])
+	}
+	if scs[2].Name != "elevate-2014x5" {
+		t.Errorf("elevate name = %q", scs[2].Name)
+	}
+
+	def, err := parseScenarios("default")
+	if err != nil {
+		t.Fatalf("parseScenarios(default): %v", err)
+	}
+	if !reflect.DeepEqual(def, dcnr.DefaultSweepScenarios()) {
+		t.Errorf("default spec = %+v, want DefaultSweepScenarios()", def)
+	}
+
+	for _, bad := range []string{"warp", "elevate:2014", "elevate:x:5", "elevate:2014:x"} {
+		if _, err := parseScenarios(bad); err == nil {
+			t.Errorf("parseScenarios(%q) did not fail", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var stdout bytes.Buffer
+	o := options{
+		seedBase:  1,
+		runs:      2,
+		scales:    "1",
+		scenarios: "baseline",
+		workers:   2,
+		out:       filepath.Join(dir, "sweep_report.json"),
+		runsOut:   filepath.Join(dir, "runs.jsonl"),
+		stdout:    &stdout,
+	}
+	if err := run(o); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	data, err := os.ReadFile(o.out)
+	if err != nil {
+		t.Fatalf("reading report: %v", err)
+	}
+	var rep dcnr.SweepReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Groups) != 1 || rep.Groups[0].Seeds != 2 {
+		t.Errorf("report groups = %+v, want one baseline group over 2 seeds", rep.Groups)
+	}
+
+	runsData, err := os.ReadFile(o.runsOut)
+	if err != nil {
+		t.Fatalf("reading runs: %v", err)
+	}
+	if lines := strings.Count(string(runsData), "\n"); lines != 2 {
+		t.Errorf("runs stream has %d lines, want 2", lines)
+	}
+	if !strings.Contains(stdout.String(), "sweep: 2 runs") {
+		t.Errorf("summary output missing run count: %q", stdout.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	base := options{seedBase: 1, runs: 1, scales: "1", scenarios: "baseline", out: filepath.Join(t.TempDir(), "r.json")}
+	for name, mutate := range map[string]func(*options){
+		"bad scale":    func(o *options) { o.scales = "one" },
+		"bad scenario": func(o *options) { o.scenarios = "warp" },
+		"zero runs":    func(o *options) { o.runs = 0 },
+		"bad seeds":    func(o *options) { o.seeds = "1,frog" },
+	} {
+		o := base
+		mutate(&o)
+		if err := run(o); err == nil {
+			t.Errorf("%s: run accepted invalid options", name)
+		}
+	}
+}

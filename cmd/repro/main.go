@@ -6,6 +6,7 @@
 //	repro [-experiment id] [-seed N] [-scale N] [-format text|csv]
 //	      [-parallel N] [-metrics-addr ADDR] [-trace FILE] [-list]
 //	repro -verify [-seed N]
+//	repro -sweep-report FILE
 //
 // Without -experiment, all experiments run across a bounded worker pool
 // (-parallel, default one worker per CPU) and print in paper order:
@@ -13,7 +14,10 @@
 // drain, config), and the operational studies (congestion, drill-suite,
 // wan-reroute, optical-attribution), followed by a per-analysis wall-time
 // footer. -verify grades the paper's headline claims and exits non-zero if
-// any fails.
+// any fails. -sweep-report diffs a dcsweep campaign report against the
+// paper's Table 1 repair ratios and Table 2 root-cause mix, reporting for
+// each whether the paper's point estimate falls inside the sweep's
+// cross-run p5–p95 band.
 //
 // -metrics-addr serves runtime introspection over HTTP for the duration of
 // the run: /debug/vars (expvar, including the simulation's metrics under
@@ -58,6 +62,7 @@ func main() {
 		parallel    = flag.Int("parallel", runtime.NumCPU(), "worker pool size for the all-experiments run (1 = serial)")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar, Prometheus, and pprof on this address (e.g. :8080) for the duration of the run")
 		traceOut    = flag.String("trace", "", "write a Chrome trace-event file to this file")
+		sweepReport = flag.String("sweep-report", "", "diff a dcsweep report's variance bands against the paper's values and exit")
 	)
 	flag.Parse()
 	switch *format {
@@ -72,6 +77,13 @@ func main() {
 	if *list {
 		for _, id := range experimentOrder {
 			fmt.Printf("%-22s %s\n", id, experiments[id].title)
+		}
+		return
+	}
+	if *sweepReport != "" {
+		if err := runSweepDiff(os.Stdout, *sweepReport); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dcnr"
+	"dcnr/internal/report"
+)
+
+// paperRepairRatios is Table 1's automated-repair success column.
+var paperRepairRatios = []struct {
+	device string
+	value  float64
+}{
+	{"Core", 0.75},
+	{"FSW", 0.995},
+	{"RSW", 0.997},
+}
+
+// paperRootCauseMix is Table 2's root-cause share column.
+var paperRootCauseMix = []struct {
+	cause string
+	value float64
+}{
+	{"Maintenance", 0.17},
+	{"Hardware", 0.13},
+	{"Configuration", 0.13},
+	{"Bug", 0.12},
+	{"Accidents", 0.10},
+	{"Capacity planning", 0.05},
+	{"Undetermined", 0.29},
+}
+
+// runSweepDiff loads a dcsweep report and diffs the paper's point
+// estimates against the sweep's cross-run variance bands: a paper value
+// inside a statistic's empirical p5–p95 band means the reproduction
+// brackets it, not just approximates it. The baseline scenario's
+// smallest-scale group is the comparison target.
+func runSweepDiff(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep dcnr.SweepReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	g := baselineGroup(rep)
+	if g == nil {
+		return fmt.Errorf("%s: no groups in report", path)
+	}
+
+	t := &report.Table{
+		Title: fmt.Sprintf("Sweep vs paper: scenario %q, scale %d, %d seeds", g.Scenario, g.Scale, g.Seeds),
+		Note: "Paper point estimates against the sweep's cross-run mean and p5–p95 band. " +
+			"Within = the paper value falls inside the band.",
+		Headers: []string{"statistic", "paper", "sweep mean", "p5", "p95", "verdict"},
+	}
+	within, total := 0, 0
+	addRow := func(name string, paper float64, band dcnr.SweepBand, ok bool, fmtv func(float64) string) {
+		if !ok || band.N == 0 {
+			t.AddRow(name, fmtv(paper), "—", "—", "—", "missing")
+			total++
+			return
+		}
+		verdict := "within"
+		if paper < band.P5 || paper > band.P95 {
+			verdict = "outside"
+		} else {
+			within++
+		}
+		total++
+		t.AddRow(name, fmtv(paper), fmtv(band.Mean), fmtv(band.P5), fmtv(band.P95), verdict)
+	}
+	for _, p := range paperRepairRatios {
+		band, ok := g.RepairRatio[p.device]
+		addRow("repair ratio "+p.device, p.value, band, ok, report.Pct)
+	}
+	for _, p := range paperRootCauseMix {
+		band, ok := g.RootCauseMix[p.cause]
+		addRow("root cause "+p.cause, p.value, band, ok, report.Pct)
+	}
+	if err := emit(t, w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%d/%d paper values inside their sweep band\n", within, total)
+	return err
+}
+
+// baselineGroup picks the comparison target: the "baseline" scenario at
+// its smallest swept scale, or failing that the report's first group.
+func baselineGroup(rep dcnr.SweepReport) *dcnr.SweepGroup {
+	var best *dcnr.SweepGroup
+	for i := range rep.Groups {
+		g := &rep.Groups[i]
+		if g.Scenario != "baseline" {
+			continue
+		}
+		if best == nil || g.Scale < best.Scale {
+			best = g
+		}
+	}
+	if best == nil && len(rep.Groups) > 0 {
+		best = &rep.Groups[0]
+	}
+	return best
+}

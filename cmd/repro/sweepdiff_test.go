@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcnr"
+)
+
+// syntheticReport builds a minimal sweep report whose baseline bands
+// bracket some paper values and miss others, to pin the verdict logic.
+func syntheticReport(t *testing.T) string {
+	t.Helper()
+	rep := dcnr.SweepReport{
+		Seeds:  []uint64{1, 2},
+		Scales: []int{1},
+		Scenarios: []dcnr.SweepScenario{
+			{Name: "baseline", FromYear: 2011, ToYear: 2017},
+		},
+		Groups: []dcnr.SweepGroup{{
+			Scenario: "baseline",
+			Scale:    1,
+			Seeds:    2,
+			RepairRatio: map[string]dcnr.SweepBand{
+				"Core": {Mean: 0.74, P5: 0.72, P95: 0.76, N: 2}, // brackets 0.75
+				"FSW":  {Mean: 0.90, P5: 0.89, P95: 0.91, N: 2}, // misses 0.995
+				"RSW":  {Mean: 0.997, P5: 0.996, P95: 0.998, N: 2},
+			},
+			RootCauseMix: map[string]dcnr.SweepBand{
+				"Maintenance": {Mean: 0.16, P5: 0.14, P95: 0.18, N: 2},
+			},
+		}},
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sweep_report.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSweepDiff(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runSweepDiff(&buf, syntheticReport(t)); err != nil {
+		t.Fatalf("runSweepDiff: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"scenario \"baseline\", scale 1, 2 seeds",
+		"repair ratio Core",
+		"root cause Maintenance",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Core (0.75 in [0.72, 0.76]) and Maintenance (0.17 in [0.14, 0.18])
+	// and RSW (0.997 in [0.996, 0.998]) are within; FSW is outside; the
+	// root causes absent from the synthetic report are missing.
+	if !strings.Contains(out, "3/10 paper values inside their sweep band") {
+		t.Errorf("verdict summary wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "outside") || !strings.Contains(out, "missing") {
+		t.Errorf("expected both outside and missing verdicts:\n%s", out)
+	}
+}
+
+func TestRunSweepDiffErrors(t *testing.T) {
+	if err := runSweepDiff(os.Stdout, filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Errorf("runSweepDiff accepted a missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweepDiff(os.Stdout, bad); err == nil {
+		t.Errorf("runSweepDiff accepted malformed JSON")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweepDiff(os.Stdout, empty); err == nil {
+		t.Errorf("runSweepDiff accepted a report with no groups")
+	}
+}

@@ -15,207 +15,54 @@
 //   - SimulateBackbone generates a backbone of edges, vendors, and fiber
 //     links, simulates link failures and fiber cuts, and round-trips the
 //     resulting repair tickets through the vendor-notification pipeline.
+//   - Sweep fans a grid of such runs — seed × scale × scenario — across a
+//     bounded worker pool and aggregates the paper's key statistics into
+//     cross-run mean/p5/p95 bands.
 //
-// Analysis then re-derives every table and figure of the paper from the
-// generated raw records — see IntraAnalysis and InterAnalysis. cmd/repro
-// prints each experiment; EXPERIMENTS.md records paper-vs-measured values.
+// Every simulation entry point takes a config whose Validate method
+// normalizes defaults and rejects impossible parameters, and whose
+// embedded Observe struct carries the shared observability wiring
+// (Metrics, Trace, Health, Logger). Analysis re-derives every table and
+// figure of the paper from the generated raw records — see IntraAnalysis
+// and InterAnalysis. cmd/repro prints each experiment; EXPERIMENTS.md
+// records paper-vs-measured values.
 package dcnr
 
 import (
-	"fmt"
-	"log/slog"
-
-	"dcnr/internal/backbone"
 	"dcnr/internal/core"
-	"dcnr/internal/faults"
-	"dcnr/internal/fleet"
 	"dcnr/internal/remediation"
-	"dcnr/internal/tickets"
+	"dcnr/internal/sim"
+	"dcnr/internal/sweep"
 	"dcnr/internal/topology"
 )
 
 // Version identifies the library release.
-const Version = "1.0.0"
-
-// IntraConfig parameterizes the intra-data-center simulation.
-type IntraConfig struct {
-	// Seed roots all randomness; equal seeds give identical histories.
-	Seed uint64
-	// Scale multiplies the fleet population and incident volumes
-	// uniformly. 1 (the default when zero) is the study's unit scale;
-	// 5 produces a "thousands of incidents" dataset like the paper's.
-	Scale int
-	// FromYear and ToYear bound the simulated years, inclusive. Zero
-	// values default to the full 2011–2017 study period.
-	FromYear, ToYear int
-	// DisableRemediation turns off the automated repair engine — the §5.6
-	// ablation. Every fault on a remediation-supported device type then
-	// escalates to a service-level incident.
-	DisableRemediation bool
-	// Metrics, when non-nil, receives counters, gauges, and histograms
-	// from the simulation's hot paths (DES kernel, remediation engine,
-	// SEV query engine). See the Observability section of README.md for
-	// the metric names.
-	Metrics *MetricsRegistry
-	// Trace, when non-nil, records Chrome trace-event spans: per-event
-	// handler timings on the wall-clock track and remediation
-	// submit→outcome spans on the simulation-time track. Write the
-	// result with Tracer.WriteJSON and load it in chrome://tracing or
-	// Perfetto.
-	Trace *Tracer
-	// Health, when non-nil, receives every fault, repair, and incident
-	// and is evaluated on a daily sim-time tick, judging the run against
-	// its calibration targets live (burn-rate alert rules, MTBF/MTTR
-	// estimates). Build one with NewHealthEngine(HealthTargetsForScale(
-	// cfg.Scale), nil). See the Health/SLO section of README.md.
-	Health *HealthEngine
-	// Logger, when non-nil, receives structured records from the DES
-	// kernel (debug), the remediation engine (debug), the faults driver
-	// (incidents at info), and the health engine's alert transitions —
-	// each carrying the simulation clock. Build the handler with
-	// NewSimLogHandler so records carry the wall clock too.
-	Logger *slog.Logger
-	// ElevateYear and ElevateFactor (> 1) multiply the fault arrival
-	// rate of one simulated year while health targets stay at
-	// calibration — the anomaly-injection scenario that drives burn-rate
-	// alerts through pending→firing→resolved. Zero values disable it.
-	ElevateYear   int
-	ElevateFactor float64
-}
-
-// IntraResult carries the generated dataset and its analysis handles.
-type IntraResult struct {
-	// Store is the generated SEV dataset.
-	Store *SEVStore
-	// Fleet is the population model the dataset was generated against.
-	Fleet *Fleet
-	// Analysis answers the §5 questions over the dataset.
-	Analysis *IntraAnalysis
-	// RemediationStats is the Table 1 data accumulated by the automated
-	// repair engine, keyed by device type.
-	RemediationStats map[DeviceType]RemediationStats
-	// Faults and Incidents count generated device faults and the subset
-	// that escalated into SEVs.
-	Faults, Incidents int
-}
+const Version = "1.1.0"
 
 // SimulateIntraDC runs the intra-data-center simulation and returns the
-// dataset with analysis attached.
+// dataset with analysis attached. The config is validated first (see
+// IntraConfig.Validate); an invalid config returns an error before any
+// simulation work happens.
 func SimulateIntraDC(cfg IntraConfig) (*IntraResult, error) {
-	if cfg.Scale == 0 {
-		cfg.Scale = 1
-	}
-	if cfg.FromYear == 0 {
-		cfg.FromYear = FirstYear
-	}
-	if cfg.ToYear == 0 {
-		cfg.ToYear = LastYear
-	}
-	fl := fleet.New(cfg.Scale)
-	driver, err := faults.NewDriver(fl, cfg.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("dcnr: building simulation: %w", err)
-	}
-	if cfg.DisableRemediation {
-		driver.Engine.SetEnabled(false)
-	}
-	driver.Instrument(cfg.Metrics, cfg.Trace)
-	driver.ElevateYear, driver.ElevateFactor = cfg.ElevateYear, cfg.ElevateFactor
-	if cfg.Health != nil {
-		cfg.Health.Instrument(cfg.Metrics)
-		driver.SetHealth(cfg.Health)
-	}
-	if cfg.Logger != nil {
-		driver.SetLogger(cfg.Logger)
-		cfg.Health.SetLogger(cfg.Logger)
-	}
-	store, err := driver.Run(cfg.FromYear, cfg.ToYear)
-	if err != nil {
-		return nil, fmt.Errorf("dcnr: simulating: %w", err)
-	}
-	return &IntraResult{
-		Store:            store,
-		Fleet:            fl,
-		Analysis:         core.NewIntraAnalysis(store, fl),
-		RemediationStats: driver.Engine.Stats(),
-		Faults:           driver.Faults(),
-		Incidents:        driver.Incidents(),
-	}, nil
+	return sim.IntraDC(cfg)
 }
-
-// BackboneResult carries the generated backbone dataset and its analysis.
-type BackboneResult struct {
-	// Topology is the generated backbone inventory.
-	Topology *BackboneTopology
-	// Notices is the full vendor notification stream, time-ordered.
-	Notices []Notice
-	// Downtimes are the link downtime intervals the collector
-	// reconstructed from the notices.
-	Downtimes []Downtime
-	// Analysis answers the §6 questions over the reconstructed intervals.
-	Analysis *InterAnalysis
-}
-
-// healthEdgeEvalPeriod is the sim-hour cadence at which SimulateBackbone
-// replays the observation window into an attached health engine: daily, so
-// the edge-availability rule's for-duration semantics match the intra-DC
-// plane's.
-const healthEdgeEvalPeriod = 24.0
 
 // SimulateBackbone generates a backbone per cfg, simulates its failure
 // processes over the observation window, and round-trips the repair
 // tickets through the generation→parse→pair pipeline, exactly as the
-// study's data flowed (§4.3.2).
+// study's data flowed (§4.3.2). The config is validated first (see
+// BackboneConfig.Validate).
 func SimulateBackbone(cfg BackboneConfig) (*BackboneResult, error) {
-	topo, err := backbone.Build(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("dcnr: building backbone: %w", err)
-	}
-	downs, err := topo.Simulate(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("dcnr: simulating backbone: %w", err)
-	}
-	notices := tickets.Generate(topo, downs)
-	coll := tickets.NewCollector()
-	// Re-derive the window exactly as Simulate used it.
-	full := cfg
-	if full.Months == 0 {
-		full.Months = backbone.DefaultConfig().Months
-	}
-	coll.WindowHours = full.WindowHours()
-	for _, n := range notices {
-		// Round-trip through the wire format: what the analysis sees is
-		// what a parser recovered, not the generator's structs.
-		parsed, err := tickets.Parse(n.Format())
-		if err != nil {
-			return nil, fmt.Errorf("dcnr: ticket round trip: %w", err)
-		}
-		if err := coll.Ingest(parsed); err != nil {
-			return nil, fmt.Errorf("dcnr: collecting tickets: %w", err)
-		}
-	}
-	dts := coll.Downtimes()
-	if cfg.Health != nil {
-		// Feed the reconstructed intervals to the health engine and
-		// evaluate over the window, so edge-availability rules see the
-		// same data the §6 analysis does.
-		for _, dt := range dts {
-			cfg.Health.RecordEdgeDown(dt.Start, dt.End)
-		}
-		for t := healthEdgeEvalPeriod; t <= coll.WindowHours; t += healthEdgeEvalPeriod {
-			cfg.Health.Evaluate(t)
-		}
-	}
-	analysis, err := core.NewInterAnalysis(topo, dts, coll.WindowHours)
-	if err != nil {
-		return nil, fmt.Errorf("dcnr: analyzing backbone: %w", err)
-	}
-	return &BackboneResult{
-		Topology:  topo,
-		Notices:   notices,
-		Downtimes: dts,
-		Analysis:  analysis,
-	}, nil
+	return sim.Backbone(cfg)
+}
+
+// Sweep runs a scenario-sweep campaign: every (scenario, scale, seed) cell
+// of the grid as an isolated simulation run across a bounded worker pool,
+// with per-run statistics streamed to cfg.Results as JSONL and aggregated
+// into cross-run mean/p5/p95 bands. The same grid yields a byte-identical
+// report (Result.WriteReport) at any worker count.
+func Sweep(cfg SweepConfig) (*SweepResult, error) {
+	return sweep.Run(cfg)
 }
 
 // RunLimit runs n independent analysis tasks across a bounded pool of at

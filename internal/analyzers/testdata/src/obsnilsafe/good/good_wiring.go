@@ -1,0 +1,48 @@
+// Observability fan-out wiring: one bundle of optional sinks, each
+// guarded on its own nil check before any method that is not nil-safe is
+// called on it. This pins the facade's fix for the classic wiring bug —
+// gating health.SetLogger behind `logger != nil` while the engine itself
+// might be nil. Each sink's guard must test that sink, not a sibling.
+package good
+
+import (
+	"log/slog"
+
+	"dcnr/internal/obs"
+	"dcnr/internal/obs/health"
+)
+
+// Wiring bundles the optional observability sinks a subsystem accepts.
+// All are pointers with nil meaning "not wired".
+type Wiring struct {
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
+	Health  *health.Engine
+	Logger  *slog.Logger
+}
+
+// consumer stands in for a driver that accepts the wiring.
+type consumer struct {
+	health *health.Engine
+	logger *slog.Logger
+}
+
+func (c *consumer) instrument(reg *obs.Registry, tr *obs.Tracer) {}
+
+// Apply fans the bundle out. Metrics and Trace are nil-safe by contract
+// and pass through unguarded; the engine and logger cross-wiring is
+// guarded per sink: the logger reaches the engine only when BOTH are
+// present.
+func (c *consumer) Apply(w Wiring) {
+	c.instrument(w.Metrics, w.Trace)
+	if w.Health != nil {
+		w.Health.Instrument(w.Metrics)
+		c.health = w.Health
+	}
+	if w.Logger != nil {
+		c.logger = w.Logger
+		if w.Health != nil {
+			w.Health.SetLogger(w.Logger)
+		}
+	}
+}

@@ -157,6 +157,25 @@ func (a *InterAnalysis) EdgeMTBF() map[string]float64 {
 	return out
 }
 
+// EdgeAvailability returns each edge's measured availability over the
+// observation window: the fraction of the window during which at least one
+// of its backbone links was up (1 − total outage time / window). Every
+// edge in the inventory is reported; an edge with no outages reads 1.
+// This is the §6 availability signal the sweep engine aggregates into
+// cross-run bands, computed from reconstructed tickets exactly like the
+// health engine's edge-availability SLO.
+func (a *InterAnalysis) EdgeAvailability() map[string]float64 {
+	out := make(map[string]float64, len(a.edgeLinks))
+	for edge := range a.edgeLinks {
+		down := 0.0
+		for _, o := range a.edgeOutages(edge) {
+			down += o.end - o.start
+		}
+		out[edge] = 1 - down/a.WindowHours
+	}
+	return out
+}
+
 // EdgeMTTR returns each edge's mean outage duration in hours.
 func (a *InterAnalysis) EdgeMTTR() map[string]float64 {
 	out := make(map[string]float64)

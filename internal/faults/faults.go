@@ -18,6 +18,7 @@ import (
 	"dcnr/internal/fleet"
 	"dcnr/internal/obs"
 	"dcnr/internal/obs/health"
+	"dcnr/internal/observe"
 	"dcnr/internal/remediation"
 	"dcnr/internal/service"
 	"dcnr/internal/sev"
@@ -115,6 +116,26 @@ func (d *Driver) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 // fault, repair, and incident, and schedules a daily sim-time evaluation
 // tick across the run. Call before Run; nil detaches.
 func (d *Driver) SetHealth(e *health.Engine) { d.health = e }
+
+// Observe wires a whole observability bundle in one call: Instrument with
+// the registry and tracer, SetHealth (plus health-engine instrumentation)
+// when a health engine is present, and SetLogger when a logger is present.
+// Each sink is guarded on its own nil check — attaching a logger without a
+// health engine, or a health engine without metrics, wires exactly the
+// sinks that exist. Call before Run.
+func (d *Driver) Observe(o observe.Observe) {
+	d.Instrument(o.Metrics, o.Trace)
+	if o.Health != nil {
+		o.Health.Instrument(o.Metrics)
+		d.SetHealth(o.Health)
+	}
+	if o.Logger != nil {
+		d.SetLogger(o.Logger)
+		if o.Health != nil {
+			o.Health.SetLogger(o.Logger)
+		}
+	}
+}
 
 // SetLogger attaches a structured logger: the driver (and, through
 // SetLogger on the engine it owns, the remediation plane) logs incidents

@@ -20,6 +20,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -254,6 +255,32 @@ func (s *Snapshot) Merge(other Snapshot) error {
 		s.Histograms[name] = mine
 	}
 	return nil
+}
+
+// MergeSnapshots folds a sequence of snapshots into one, left to right,
+// under Snapshot.Merge's rules (counters add, histograms merge bucket-wise,
+// gauges last-writer-wins). It is the one-call form the sweep engine uses
+// to combine per-run registries into a single campaign-wide exposition.
+func MergeSnapshots(snaps ...Snapshot) (Snapshot, error) {
+	var out Snapshot
+	for i := range snaps {
+		if err := out.Merge(snaps[i]); err != nil {
+			return Snapshot{}, err
+		}
+	}
+	return out, nil
+}
+
+// WriteJSON writes the snapshot as indented JSON. Map keys serialize
+// sorted, so equal snapshots produce byte-identical output.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
 }
 
 // Registry holds named metrics. Lookups are get-or-create: the first caller

@@ -1,0 +1,57 @@
+// Package observe defines the shared observability wiring that every
+// simulation entry point accepts: a metrics registry, a trace recorder, a
+// streaming SLO engine, and a structured logger.
+//
+// Before this package each config struct (IntraConfig, backbone.Config)
+// grew its own ad hoc Metrics/Trace/Health/Logger fields, and every new
+// orchestrator — most recently the scenario-sweep engine — had to
+// re-declare and re-thread the same four pointers. Observe is that bundle,
+// declared once and embedded by each config. All four fields follow the
+// project-wide nil contract: a nil field means "not instrumented" and
+// costs the hot paths nothing.
+package observe
+
+import (
+	"log/slog"
+
+	"dcnr/internal/obs"
+	"dcnr/internal/obs/health"
+)
+
+// Observe bundles the optional observability sinks a simulation reports
+// into. The zero value is a fully uninstrumented run.
+type Observe struct {
+	// Metrics, when non-nil, receives counters, gauges, and histograms
+	// from the instrumented hot paths (DES kernel, remediation engine,
+	// SEV query engine, sweep engine).
+	Metrics *obs.Registry
+	// Trace, when non-nil, records Chrome trace-event spans (wall-clock
+	// and simulation-time lanes); write with Tracer.WriteJSON and load in
+	// chrome://tracing or Perfetto.
+	Trace *obs.Tracer
+	// Health, when non-nil, receives the fault/repair/incident stream and
+	// judges the run against its calibration targets live.
+	Health *health.Engine
+	// Logger, when non-nil, receives structured records carrying the
+	// simulation clock; build the handler with obs.NewSimHandler.
+	Logger *slog.Logger
+}
+
+// Or returns o with every nil field filled from fallback — the resolution
+// rule for the deprecated flat config fields: an explicitly set Observe
+// field wins, the legacy flat field backs it up.
+func (o Observe) Or(fallback Observe) Observe {
+	if o.Metrics == nil {
+		o.Metrics = fallback.Metrics
+	}
+	if o.Trace == nil {
+		o.Trace = fallback.Trace
+	}
+	if o.Health == nil {
+		o.Health = fallback.Health
+	}
+	if o.Logger == nil {
+		o.Logger = fallback.Logger
+	}
+	return o
+}

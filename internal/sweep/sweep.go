@@ -1,0 +1,359 @@
+// Package sweep is the scenario-sweep campaign engine: it fans a grid of
+// simulation runs — seed × scale × scenario — across a bounded worker
+// pool, streams per-run summary statistics out as JSONL, and aggregates
+// the paper's key statistics (per-device-type incident rates, root-cause
+// mix, MTBF, resolution times, repair ratios, edge availability) into
+// cross-run mean/p5/p95 bands.
+//
+// The paper's every headline number is a point estimate from one observed
+// history; a sweep quantifies the run-to-run variance a reproduction
+// should report alongside it. Design constraints:
+//
+//   - Bounded memory. A run's SEV store is reduced to a small RunStats
+//     record on the worker that produced it and then dropped, so a
+//     100-run campaign never holds 100 stores.
+//   - Full isolation. Every run builds its own simulator, fleet, and
+//     seeded RNG source (simrand.NewSource(seed) per driver), plus its
+//     own metrics registry when the campaign is instrumented — workers
+//     share nothing but the result slice.
+//   - Deterministic output. Runs are expanded, numbered, streamed, and
+//     aggregated in grid order regardless of which worker finishes first,
+//     so the same grid yields byte-identical reports at any worker count.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"dcnr/internal/backbone"
+	"dcnr/internal/core"
+	"dcnr/internal/obs"
+	"dcnr/internal/observe"
+	"dcnr/internal/sim"
+)
+
+// Scenario is one named variant of the intra-DC simulation: the baseline,
+// the §5.6 no-remediation ablation, an -elevate-* burn drill, or any year
+// slice of the study period.
+type Scenario struct {
+	// Name labels the scenario in results and reports; names must be
+	// unique within a campaign.
+	Name string `json:"name"`
+	// DisableRemediation turns off the automated repair engine (§5.6).
+	DisableRemediation bool `json:"disable_remediation,omitempty"`
+	// ElevateYear and ElevateFactor (> 1) multiply one year's fault
+	// arrival rate — the burn-drill anomaly.
+	ElevateYear   int     `json:"elevate_year,omitempty"`
+	ElevateFactor float64 `json:"elevate_factor,omitempty"`
+	// FromYear and ToYear bound the simulated years; zero values mean the
+	// full study period.
+	FromYear int `json:"from_year,omitempty"`
+	ToYear   int `json:"to_year,omitempty"`
+}
+
+// DefaultScenarios returns the standard campaign: the baseline study
+// period, the §5.6 no-remediation ablation, and a 5× burn drill in 2014.
+func DefaultScenarios() []Scenario {
+	return []Scenario{
+		{Name: "baseline"},
+		{Name: "no-remediation", DisableRemediation: true},
+		{Name: "elevate-2014x5", ElevateYear: 2014, ElevateFactor: 5},
+	}
+}
+
+// Config parameterizes a sweep campaign.
+type Config struct {
+	// Observe bundles the campaign-level observability wiring. Metrics
+	// receives the sweep_* counters and gauges; Trace records one span
+	// per run with a lane per pool worker; Logger gets one progress
+	// record per completed run. Health is not wired — runs have
+	// independent simulation clocks, so a shared health engine would
+	// interleave unrelated histories; instrument single runs instead.
+	observe.Observe
+	// Seeds are the RNG roots to sweep. Every (scenario, scale, seed)
+	// cell becomes one run; a campaign needs at least one seed.
+	Seeds []uint64
+	// Scales are the fleet scales to sweep. Empty means [1].
+	Scales []int
+	// Scenarios are the simulation variants to sweep. Empty means
+	// [{Name: "baseline"}].
+	Scenarios []Scenario
+	// Workers bounds the worker pool; <= 0 means one per CPU.
+	Workers int
+	// Backbone, when true, adds an inter-DC leg to every run: a backbone
+	// simulation at the run's seed (edges scaled by the run's scale)
+	// whose edge availability and MTBF/MTTR medians join the run's
+	// statistics.
+	Backbone bool
+	// Results, when non-nil, receives one JSON line per completed run
+	// (a RunStats record), streamed in run order as soon as each run's
+	// predecessor lines are flushed.
+	Results io.Writer
+}
+
+// Validate normalizes the campaign in place — default scales and
+// scenarios, scenario year bounds resolved to the study period — and
+// rejects what cannot run: no seeds, non-positive scales, duplicate or
+// empty scenario names, or a scenario whose own simulation config fails
+// sim.IntraConfig.Validate.
+func (c *Config) Validate() error {
+	if len(c.Seeds) == 0 {
+		return fmt.Errorf("sweep: no seeds configured")
+	}
+	if len(c.Scales) == 0 {
+		c.Scales = []int{1}
+	}
+	for _, s := range c.Scales {
+		if s <= 0 {
+			return fmt.Errorf("sweep: Scale must be positive, got %d", s)
+		}
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = []Scenario{{Name: "baseline"}}
+	}
+	seen := make(map[string]bool, len(c.Scenarios))
+	for i := range c.Scenarios {
+		sc := &c.Scenarios[i]
+		if sc.Name == "" {
+			return fmt.Errorf("sweep: scenario %d has no name", i)
+		}
+		if seen[sc.Name] {
+			return fmt.Errorf("sweep: duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		// Normalize and check through the simulation config itself, so a
+		// sweep rejects exactly what a single run would.
+		probe := sc.intraConfig(c.Seeds[0], c.Scales[0])
+		if err := probe.Validate(); err != nil {
+			return fmt.Errorf("sweep: scenario %q: %w", sc.Name, err)
+		}
+		sc.FromYear, sc.ToYear = probe.FromYear, probe.ToYear
+	}
+	return nil
+}
+
+// intraConfig builds the simulation config for one grid cell.
+func (s Scenario) intraConfig(seed uint64, scale int) sim.IntraConfig {
+	return sim.IntraConfig{
+		Seed:               seed,
+		Scale:              scale,
+		FromYear:           s.FromYear,
+		ToYear:             s.ToYear,
+		DisableRemediation: s.DisableRemediation,
+		ElevateYear:        s.ElevateYear,
+		ElevateFactor:      s.ElevateFactor,
+	}
+}
+
+// runSpec is one expanded grid cell.
+type runSpec struct {
+	run      int
+	scenario Scenario
+	seed     uint64
+	scale    int
+}
+
+// expand enumerates the grid in deterministic order: scenarios outermost,
+// then scales, then seeds — so all of a scenario's runs are numbered
+// contiguously and paired-seed comparisons line up across scenarios.
+func (c *Config) expand() []runSpec {
+	specs := make([]runSpec, 0, len(c.Scenarios)*len(c.Scales)*len(c.Seeds))
+	for _, sc := range c.Scenarios {
+		for _, scale := range c.Scales {
+			for _, seed := range c.Seeds {
+				specs = append(specs, runSpec{run: len(specs), scenario: sc, seed: seed, scale: scale})
+			}
+		}
+	}
+	return specs
+}
+
+// Result is a completed campaign: the aggregated report, every per-run
+// record, and the merged telemetry of all instrumented runs.
+type Result struct {
+	// Report is the cross-run aggregation, ready for WriteReport.
+	Report Report
+	// Runs holds one RunStats per grid cell, in run order.
+	Runs []RunStats
+	// Metrics is the merge of every run's private registry (plus nothing
+	// else — the campaign registry passed via Observe.Metrics stays
+	// separate so sweep_* bookkeeping never pollutes simulation metrics).
+	// Zero when the campaign was uninstrumented.
+	Metrics obs.Snapshot
+}
+
+// WriteReport writes the campaign report as deterministically-ordered,
+// indented JSON: the same grid produces byte-identical output at any
+// worker count.
+func (r *Result) WriteReport(w io.Writer) error {
+	data, err := json.MarshalIndent(&r.Report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Run executes the campaign: every grid cell across the worker pool, the
+// JSONL stream to cfg.Results, and the final aggregation. The returned
+// error is the failing run with the lowest index (every run is attempted
+// even when an earlier one fails, matching core.RunLimit).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	specs := cfg.expand()
+	o := cfg.Observe
+
+	var (
+		mRuns     = o.Metrics.Counter("sweep_runs_total")
+		mFailures = o.Metrics.Counter("sweep_run_failures_total")
+		mFaults   = o.Metrics.Counter("sweep_faults_total")
+		mIncs     = o.Metrics.Counter("sweep_incidents_total")
+		gWorkers  = o.Metrics.Gauge("sweep_active_workers")
+	)
+
+	stream := newOrderedWriter(cfg.Results, len(specs))
+	results := make([]RunStats, len(specs))
+	var (
+		mergedMu sync.Mutex
+		merged   obs.Snapshot
+	)
+
+	task := func(i int) error {
+		gWorkers.Add(1)
+		defer gWorkers.Add(-1)
+		spec := specs[i]
+
+		// Per-run isolated telemetry: a private registry per run (when
+		// the campaign is instrumented at all), merged after the run so
+		// concurrent runs never share a counter.
+		var reg *obs.Registry
+		if o.Metrics != nil {
+			reg = obs.NewRegistry()
+		}
+		icfg := spec.scenario.intraConfig(spec.seed, spec.scale)
+		icfg.Observe = observe.Observe{Metrics: reg}
+		res, err := sim.IntraDC(icfg)
+		if err != nil {
+			mFailures.Inc()
+			return fmt.Errorf("sweep: run %d (%s seed %d scale %d): %w",
+				spec.run, spec.scenario.Name, spec.seed, spec.scale, err)
+		}
+		stats := intraStats(spec, res)
+		res = nil // the SEV store is reduced; let the worker drop it
+
+		if cfg.Backbone {
+			bcfg := backbone.DefaultConfig()
+			bcfg.Seed = spec.seed
+			bcfg.Edges *= spec.scale
+			bcfg.Observe = observe.Observe{Metrics: reg}
+			bres, err := sim.Backbone(bcfg)
+			if err != nil {
+				mFailures.Inc()
+				return fmt.Errorf("sweep: run %d backbone (seed %d): %w", spec.run, spec.seed, err)
+			}
+			addBackboneStats(&stats, bres.Analysis)
+		}
+
+		if reg != nil {
+			snap := reg.Snapshot()
+			mergedMu.Lock()
+			mergeErr := merged.Merge(snap)
+			mergedMu.Unlock()
+			if mergeErr != nil {
+				return fmt.Errorf("sweep: run %d: merging metrics: %w", spec.run, mergeErr)
+			}
+		}
+		results[i] = stats
+		mRuns.Inc()
+		mFaults.Add(int64(stats.Faults))
+		mIncs.Add(int64(stats.Incidents))
+		if err := stream.write(i, &stats); err != nil {
+			return fmt.Errorf("sweep: run %d: streaming result: %w", spec.run, err)
+		}
+		if o.Logger != nil {
+			o.Logger.Info("sweep run complete",
+				"run", spec.run, "of", len(specs),
+				"scenario", spec.scenario.Name,
+				"seed", spec.seed, "scale", spec.scale,
+				"faults", stats.Faults, "incidents", stats.Incidents)
+		}
+		return nil
+	}
+
+	err := core.RunLimitTraced(cfg.Workers, len(specs), o.Trace, "sweep",
+		func(i int) string {
+			s := specs[i]
+			return fmt.Sprintf("%s/seed%d/x%d", s.scenario.Name, s.seed, s.scale)
+		}, task)
+	if err != nil {
+		return nil, err
+	}
+	if err := stream.flushErr(); err != nil {
+		return nil, fmt.Errorf("sweep: streaming results: %w", err)
+	}
+	return &Result{
+		Report:  aggregate(cfg, results),
+		Runs:    results,
+		Metrics: merged,
+	}, nil
+}
+
+// orderedWriter streams JSON lines in index order no matter the completion
+// order: line i is held until lines 0..i-1 have been written, so the JSONL
+// stream is deterministic under concurrency while only out-of-order
+// completions are buffered.
+type orderedWriter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	next    int
+	pending map[int][]byte
+	err     error
+}
+
+func newOrderedWriter(w io.Writer, n int) *orderedWriter {
+	return &orderedWriter{w: w, pending: make(map[int][]byte, n/8+1)}
+}
+
+// write enqueues record i and flushes every line that is now contiguous.
+// The first underlying write error is sticky and returned to every later
+// caller, so one broken pipe fails the campaign instead of silently
+// truncating the stream.
+func (ow *orderedWriter) write(i int, record any) error {
+	if ow.w == nil {
+		return nil
+	}
+	line, err := json.Marshal(record)
+	if err != nil {
+		return err
+	}
+	ow.mu.Lock()
+	defer ow.mu.Unlock()
+	if ow.err != nil {
+		return ow.err
+	}
+	ow.pending[i] = append(line, '\n')
+	for {
+		buf, ok := ow.pending[ow.next]
+		if !ok {
+			return nil
+		}
+		delete(ow.pending, ow.next)
+		if _, err := ow.w.Write(buf); err != nil {
+			ow.err = err
+			return err
+		}
+		ow.next++
+	}
+}
+
+// flushErr reports the sticky stream error, if any.
+func (ow *orderedWriter) flushErr() error {
+	ow.mu.Lock()
+	defer ow.mu.Unlock()
+	return ow.err
+}

@@ -1,0 +1,90 @@
+#!/bin/sh
+# Measure the scenario-sweep campaign engine and record it in
+# BENCH_sweep.json at the repo root:
+#
+#   - end-to-end wall time of a 16-run seed sweep at scale 1, on 8 workers
+#     vs 1 worker, best of N reps, plus the resulting speedup and the
+#     machine's CPU count (the speedup ceiling — on a 1-CPU box the
+#     parallel run can only tie the serial one);
+#   - a hard determinism check: the 8-worker report, the 1-worker report,
+#     and a repeated 8-worker report must be byte-identical, or the script
+#     fails. The JSONL run streams must match the same way.
+#
+# The engine's contract is that worker count affects wall time only, never
+# output; this script is the executable form of that contract.
+#
+# Usage: scripts/bench_sweep.sh [reps]
+set -eu
+
+cd "$(dirname "$0")/.."
+REPS="${1:-3}"
+OUT="BENCH_sweep.json"
+BIN="$(mktemp -d)"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$BIN" "$WORK"' EXIT
+
+go build -o "$BIN/dcsweep" ./cmd/dcsweep
+CPUS="$(nproc 2>/dev/null || echo 1)"
+
+SWEEP_ARGS="-seed-base 1 -runs 16 -scales 1 -scenarios baseline"
+
+now_ms() { date +%s%N | awk '{ printf "%.3f", $1 / 1000000 }'; }
+
+time_ms() {
+	start=$(now_ms)
+	"$@" >/dev/null 2>&1
+	end=$(now_ms)
+	awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }'
+}
+
+min() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", (a == "" || b < a) ? b : a }'; }
+
+# Variants interleave within each rep so machine-load drift hits every
+# variant alike; each variant's best-of-REPS is then compared.
+SERIAL="" PAR=""
+i=0
+while [ "$i" -lt "$REPS" ]; do
+	echo "rep $((i + 1))/$REPS" >&2
+	SERIAL=$(min "$SERIAL" "$(time_ms "$BIN/dcsweep" $SWEEP_ARGS -workers 1 -out "$WORK/w1.json" -runs-out "$WORK/w1.jsonl")")
+	PAR=$(min "$PAR" "$(time_ms "$BIN/dcsweep" $SWEEP_ARGS -workers 8 -out "$WORK/w8.json" -runs-out "$WORK/w8.jsonl")")
+	i=$((i + 1))
+done
+
+echo "determinism check" >&2
+"$BIN/dcsweep" $SWEEP_ARGS -workers 8 -out "$WORK/w8b.json" -runs-out "$WORK/w8b.jsonl" >/dev/null
+cmp "$WORK/w1.json" "$WORK/w8.json" || { echo "FAIL: serial and parallel reports differ" >&2; exit 1; }
+cmp "$WORK/w8.json" "$WORK/w8b.json" || { echo "FAIL: repeated parallel reports differ" >&2; exit 1; }
+cmp "$WORK/w1.jsonl" "$WORK/w8.jsonl" || { echo "FAIL: serial and parallel run streams differ" >&2; exit 1; }
+cmp "$WORK/w8.jsonl" "$WORK/w8b.jsonl" || { echo "FAIL: repeated parallel run streams differ" >&2; exit 1; }
+
+SPEEDUP=$(awk -v s="$SERIAL" -v p="$PAR" 'BEGIN { printf "%.2f", s / p }')
+
+{
+	printf '{\n'
+	printf '  "goos": "%s",\n' "$(go env GOOS)"
+	printf '  "goarch": "%s",\n' "$(go env GOARCH)"
+	printf '  "cpus": %s,\n' "$CPUS"
+	printf '  "reps": %s,\n' "$REPS"
+	printf '  "grid": "16 seeds x scale 1 x baseline",\n'
+	printf '  "end_to_end_ms": {\n'
+	printf '    "dcsweep_workers_1": %s,\n' "$SERIAL"
+	printf '    "dcsweep_workers_8": %s\n' "$PAR"
+	printf '  },\n'
+	printf '  "speedup_8_over_1": %s,\n' "$SPEEDUP"
+	printf '  "speedup_target": "4x with >= 8 CPUs; bounded by cpus above",\n'
+	printf '  "deterministic_reports": true\n'
+	printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT (cpus=$CPUS, serial=${SERIAL}ms, parallel=${PAR}ms, speedup=${SPEEDUP}x)"
+
+# The 4x criterion only binds where the hardware can express it: with
+# fewer than 8 CPUs the pool cannot outrun the machine, so the check
+# degrades to requiring the parallel run not be slower than ~serial.
+if [ "$CPUS" -ge 8 ]; then
+	awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 4) }' ||
+		{ echo "FAIL: speedup ${SPEEDUP}x < 4x on $CPUS CPUs" >&2; exit 1; }
+else
+	awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 0.85) }' ||
+		{ echo "FAIL: parallel run regressed serial (speedup ${SPEEDUP}x) on $CPUS CPUs" >&2; exit 1; }
+fi

@@ -5,9 +5,10 @@
 #   1. build       - everything compiles
 #   2. vet         - stock go vet
 #   3. lint        - cmd/dcnrlint project invariants + gofmt cleanliness
-#   4. race        - full test suite under the race detector
-#   5. test-obs    - focused race pass over telemetry + instrumented paths
-#   6. test-health - focused race pass over the SLO engine and its wiring;
+#   4. apicheck    - exported facade API matches the reviewed api.txt
+#   5. race        - full test suite under the race detector
+#   6. test-obs    - focused race pass over telemetry + instrumented paths
+#   7. test-health - focused race pass over the SLO engine and its wiring;
 #                    on failure an elevated-run SLO report is dumped to
 #                    health_slo_failure.json for triage
 #
@@ -29,6 +30,7 @@ step() {
 step build make build
 step vet make vet
 step lint make lint
+step apicheck make apicheck
 step race make race
 step test-obs make test-obs
 
