@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify ci bench bench-sevquery bench-obs bench-health bench-sweep test-obs test-health api apicheck
+.PHONY: build test vet lint race verify ci bench bench-des bench-sevquery bench-obs bench-health bench-sweep test-obs test-health api apicheck
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,13 @@ ci:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 200ms .
 
+# bench-des measures the DES kernel hot path (schedule 10k events and
+# drain, plain and instrumented) into BENCH_des.json. It fails if the
+# instrumented loop falls below 5x faster than the recorded pre-pooling
+# baseline or if either loop allocates in steady state.
+bench-des:
+	./scripts/bench_des.sh
+
 # bench-sevquery snapshots the per-figure and query-engine benchmarks into
 # BENCH_sevquery.json so speedups/regressions are diffable across PRs.
 bench-sevquery:
@@ -66,7 +73,8 @@ bench-sevquery:
 
 # bench-obs measures the telemetry subsystem: obs micro-benchmarks plus
 # instrumented-vs-uninstrumented end-to-end dcsim and repro runs, recorded
-# in BENCH_obs.json. The end-to-end overhead must stay under 5%.
+# in BENCH_obs.json. Hard gates: metrics-only end-to-end overhead < 5%,
+# full tracing < 15%.
 bench-obs:
 	./scripts/bench_obs.sh
 

@@ -291,6 +291,14 @@ type TraceEvent = obs.Event
 // NewTracer returns a tracer whose wall clock starts now.
 func NewTracer() *Tracer { return obs.NewTracer() }
 
+// TraceJSONWriter streams one Chrome trace-event file from several
+// tracers (header → Add per tracer → trailer), letting a caller overlap
+// writing one phase's trace with simulating the next on a Tracer.Fork.
+type TraceJSONWriter = obs.TraceJSONWriter
+
+// NewTraceJSONWriter starts a trace file on w.
+func NewTraceJSONWriter(w io.Writer) *TraceJSONWriter { return obs.NewTraceJSONWriter(w) }
+
 // HealthEngine is the streaming SLO evaluator: it consumes the
 // simulation's fault/repair/incident stream, computes rolling-window
 // incident rates, MTBF/MTTR estimates, and error-budget burn rates against

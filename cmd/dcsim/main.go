@@ -123,9 +123,44 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	// The intra-DC trace is the bulk of the file (a couple hundred
+	// thousand spans); start streaming it to disk now, while the backbone
+	// phase simulates on a fork of the same timeline. The fork is appended
+	// once the backbone finishes, so the write costs almost no wall time.
+	var (
+		bbTracer   *dcnr.Tracer
+		traceFile  *os.File
+		traceWrite *dcnr.TraceJSONWriter
+		traceDone  chan error
+	)
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		traceWrite = dcnr.NewTraceJSONWriter(f)
+		traceDone = make(chan error, 1)
+		go func() { traceDone <- traceWrite.Add(tracer) }()
+		bbTracer = tracer.Fork()
+	}
+	finishTrace := func() error {
+		if traceFile == nil {
+			return nil
+		}
+		err := <-traceDone
+		if err == nil {
+			err = traceWrite.Add(bbTracer)
+		}
+		err = errors.Join(err, traceWrite.Close(), traceFile.Close())
+		traceFile = nil
+		return err
+	}
+
 	sevPath := filepath.Join(o.dir, "sevs.json")
 	if err := writeFile(sevPath, intra.Store.WriteJSON); err != nil {
-		return err
+		err2 := finishTrace()
+		return errors.Join(err, err2)
 	}
 	fmt.Printf("intra-DC: %d faults → %d SEVs (%d years) → %s\n",
 		intra.Faults, intra.Incidents, dcnr.LastYear-dcnr.FirstYear+1, sevPath)
@@ -133,10 +168,11 @@ func run(o options) error {
 	cfg := dcnr.DefaultBackboneConfig()
 	cfg.Seed = o.seed
 	cfg.Metrics = reg
-	cfg.Trace = tracer
+	cfg.Trace = bbTracer
 	inter, err := dcnr.SimulateBackbone(cfg)
 	if err != nil {
-		return err
+		err2 := finishTrace()
+		return errors.Join(err, err2)
 	}
 	ticketPath := filepath.Join(o.dir, "tickets.txt")
 	if err := writeFile(ticketPath, func(w io.Writer) error {
@@ -163,10 +199,10 @@ func run(o options) error {
 		fmt.Printf("metrics: %s\n", o.metricsOut)
 	}
 	if o.traceOut != "" {
-		if err := writeTrace(o.traceOut, tracer); err != nil {
+		if err := finishTrace(); err != nil {
 			return err
 		}
-		fmt.Printf("trace: %d events → %s\n", tracer.Len(), o.traceOut)
+		fmt.Printf("trace: %d events → %s\n", tracer.Len()+bbTracer.Len(), o.traceOut)
 	}
 	return nil
 }
@@ -187,8 +223,4 @@ func writeMetrics(path string, reg *dcnr.MetricsRegistry) error {
 		_, err := fmt.Fprintln(w, reg.ExpvarVar().String())
 		return err
 	})
-}
-
-func writeTrace(path string, tr *dcnr.Tracer) error {
-	return writeFile(path, tr.WriteJSON)
 }

@@ -49,7 +49,7 @@ func main() {
 	flag.IntVar(&o.runs, "runs", 16, "number of consecutive seeds when -seeds is not given")
 	flag.StringVar(&o.scales, "scales", "1", "comma-separated fleet scales to sweep")
 	flag.StringVar(&o.scenarios, "scenarios", "baseline", "comma-separated scenario specs (baseline, no-remediation, elevate:YEAR:FACTOR, default)")
-	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = one per CPU)")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = one per CPU; clamped to the CPU count)")
 	flag.BoolVar(&o.backbone, "backbone", false, "add an inter-DC backbone leg to every run")
 	flag.StringVar(&o.out, "out", "sweep_report.json", "write the aggregated report to this file")
 	flag.StringVar(&o.runsOut, "runs-out", "", "stream per-run JSONL records to this file")

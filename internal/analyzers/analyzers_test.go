@@ -133,6 +133,7 @@ func TestHeapLockBadFixture(t *testing.T) {
 	assertDiags(t, diags, []string{
 		"bad.go:22:2 heaplock", // sim.After before Lock
 		"bad.go:33:2 heaplock", // sim.Run after Unlock
+		"bad.go:39:2 heaplock", // sim.Reset without the lock
 	})
 	if !diagsMention(diags, "des.Simulator.After") || !diagsMention(diags, "des.Simulator.Run") {
 		t.Errorf("diagnostics should name the mutating method: %q", diagKeys(diags))

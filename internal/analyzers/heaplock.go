@@ -15,7 +15,7 @@ import (
 // *des.Simulator field, each method on that type must hold the mutex (a
 // lexically earlier <recv>.<mu>.Lock with no intervening non-deferred
 // Unlock) at every call that mutates the simulator's heap or clock:
-// Schedule, After, Cancel, Every, Run, Step, Halt.
+// Schedule, After, Cancel, Every, Run, Step, Halt, Reset.
 //
 // Function literals are skipped: closures handed to Schedule/After execute
 // inside the single-threaded event loop, where the heap is safe to touch.
@@ -28,10 +28,13 @@ var HeapLock = &Analyzer{
 }
 
 // heapMutators are the des.Simulator methods that touch the event heap or
-// clock and are therefore unsafe to call concurrently.
+// clock and are therefore unsafe to call concurrently. Reset joined the
+// set with the pooled free-list kernel: it recycles every node, so a
+// racing Reset corrupts not just the heap but the pool's generation
+// counters.
 var heapMutators = map[string]bool{
 	"Schedule": true, "After": true, "Cancel": true, "Every": true,
-	"Run": true, "Step": true, "Halt": true,
+	"Run": true, "Step": true, "Halt": true, "Reset": true,
 }
 
 const desPath = "dcnr/internal/des"

@@ -32,3 +32,9 @@ func (e *Engine) Drain() {
 	e.mu.Unlock()
 	e.sim.Run(24)
 }
+
+// Recycle resets the pooled kernel without the lock: a racing Reset
+// corrupts the free list and generation counters, not just the heap.
+func (e *Engine) Recycle() {
+	e.sim.Reset()
+}

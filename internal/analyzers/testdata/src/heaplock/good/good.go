@@ -24,10 +24,12 @@ func (e *Engine) Submit(done func()) {
 	e.sim.After(0, func(float64) { done() })
 }
 
-// Reset locks and unlocks explicitly around the mutation.
+// Reset locks and unlocks explicitly around the mutations, including the
+// pooled kernel's own Reset (a heap mutator since the free-list rewrite).
 func (e *Engine) Reset() {
 	e.mu.Lock()
 	e.sim.Halt()
+	e.sim.Reset()
 	e.count = 0
 	e.mu.Unlock()
 }

@@ -5,10 +5,26 @@
 // year. Events scheduled for the same instant fire in scheduling order
 // (deterministic FIFO tie-breaking), which keeps whole-simulation runs
 // reproducible bit-for-bit.
+//
+// # Memory layout
+//
+// The kernel is allocation-free on the hot path. Scheduling an event costs
+// zero heap allocations at steady state: event state lives in a pooled
+// node slab ([]node, recycled through a free list), and the priority queue
+// is a struct-of-arrays 4-ary heap — a key row of order-preserving time
+// bit patterns ([]uint64) and a parallel metadata row ([]slotMeta) — so
+// heap comparisons are single integer compares that never chase a pointer.
+// Cancellation is lazy: a cancelled event's slot stays in the queue and is
+// discarded when it surfaces, so no sift work or per-swap index
+// maintenance happens at cancel time.
+//
+// Recycling nodes makes pointer identity meaningless, so Schedule returns
+// a value-type Handle carrying the node's generation; Cancel on a stale
+// handle (the node since fired, was cancelled, or now belongs to a newer
+// event) compares generations and safely reports false.
 package des
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"log/slog"
@@ -21,83 +37,120 @@ import (
 // Handler is the action an event performs when it fires.
 type Handler func(now float64)
 
-// Event is a scheduled occurrence. It is returned by Schedule so callers can
-// cancel it.
-type Event struct {
-	at      float64
-	seq     uint64
+// Handle identifies a scheduled event so it can be cancelled. It is a
+// small value type; the zero Handle is valid and cancels nothing. Handles
+// stay safe after the event fires, is cancelled, or its node is recycled
+// for a newer event: the generation check in Cancel turns every stale use
+// into a no-op.
+type Handle struct {
+	at  float64
+	id  int32
+	gen uint32
+}
+
+// Time returns the instant the event was scheduled for.
+func (h Handle) Time() float64 { return h.at }
+
+// The priority queue is struct-of-arrays: heapKeys holds the primary sort
+// key (the event time's IEEE-754 bit pattern — for the non-negative times
+// the kernel admits, float order and unsigned bit order coincide, so the
+// common comparison is one uint64 compare), and heapMeta carries the
+// FIFO tie-break seq plus the node id/gen that resolve the handler and
+// detect lazily-cancelled ghosts. Splitting them keeps the pop-side
+// min-child scan inside a 32-byte key row per level instead of dragging
+// 96 bytes of metadata through the cache.
+
+// keyOf converts a non-negative event time to its order-preserving
+// integer key.
+func keyOf(at float64) uint64 { return math.Float64bits(at) }
+
+// slotMeta is the per-slot payload riding alongside the key.
+type slotMeta struct {
+	seq uint64
+	id  int32
+	gen uint32
+}
+
+// node is the pooled per-event state: the handler, the generation that
+// validates handles, and whether the event is still pending.
+type node struct {
 	handler Handler
-	index   int // heap index; -1 once removed
-}
-
-// Time returns the instant the event is scheduled for.
-func (e *Event) Time() float64 { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	gen     uint32
+	pending bool
 }
 
 // Simulator owns the event queue and the virtual clock. The zero value is a
 // simulator at time 0 with an empty queue, ready to use.
 type Simulator struct {
-	now    float64
-	seq    uint64
-	queue  eventHeap
-	fired  uint64
-	halted bool
+	now      float64
+	seq      uint64
+	heapKeys []uint64
+	heapMeta []slotMeta
+	nodes    []node
+	free     []int32
+	live     int // pending (non-cancelled) events in the queue
+	fired    uint64
+	halted   bool
 
 	// Telemetry, attached by Instrument. All fields are nil (no-op) by
 	// default so the uninstrumented hot loop pays nothing.
 	mFired   *obs.Counter
 	gQueue   *obs.Gauge
 	gSimTime *obs.Gauge
-	hEvent   *obs.Histogram
+	hEvent   *obs.HistogramBatch
 	tracer   *obs.Tracer
+	ring     *obs.SpanRing
 	logger   *slog.Logger
 	logDebug bool
+
+	// lastTick is the wall-clock cursor of the instrumented loop: each
+	// timing point reads the clock once and takes the previous reading as
+	// its start, so per-event timing costs one clock read instead of a
+	// Now/Since pair. The measured duration therefore covers kernel
+	// dispatch plus the handler — the dispatch share is tens of
+	// nanoseconds, noise against any real handler. In metrics-only mode
+	// (no trace ring) the cursor advances once per flush window instead of
+	// per event, and the histogram receives the window's per-event
+	// average — clock reads stop being a per-event cost at all.
+	lastTick   time.Time
+	firedDelta int64 // events fired since the last metrics flush
+	winEvents  int64 // events in the current metrics-only timing window
 }
+
+// metricsFlushMask throttles shared-metric publication: the fired counter,
+// the event histogram, and the two gauges are staged locally and flushed
+// every 64 events mid-run (plenty for live scrape freshness) and exactly
+// on every Run/Step exit, so final snapshots are precise while the hot
+// loop pays no atomics at all on most events.
+const metricsFlushMask = 63
 
 // Instrument attaches telemetry to the simulator. Metrics registered on
 // reg: des_events_fired_total (counter), des_queue_depth and des_sim_hours
-// (gauges), and des_event_wall_seconds (histogram of per-event handler
-// cost). When tr is non-nil, every fired event additionally records a
-// wall-clock trace span carrying the simulation time and queue depth, plus
-// periodic des_queue_depth counter samples — the sim-time-vs-wall-time
-// view the trace viewer renders. Either argument may be nil.
+// (gauges), and des_event_wall_seconds (histogram of per-event wall cost,
+// kernel dispatch included; with tracing attached each event is timed
+// individually, metrics-only mode times 64-event windows and attributes
+// the per-event average). All four are staged in the kernel and published
+// every 64 events and exactly at Run/Step exit — concurrent scrapers see
+// totals at most 64 events stale mid-run. When tr is non-nil,
+// every fired event additionally records a wall-clock span carrying the
+// simulation time and queue depth into a batched ring buffer (flushed on
+// Run/Step exit), plus periodic des_queue_depth counter samples — the
+// sim-time-vs-wall-time view the trace viewer renders. Either argument may
+// be nil.
 func (s *Simulator) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	if reg != nil {
 		s.mFired = reg.Counter("des_events_fired_total")
 		s.gQueue = reg.Gauge("des_queue_depth")
 		s.gSimTime = reg.Gauge("des_sim_hours")
 		s.hEvent = reg.Histogram("des_event_wall_seconds",
-			[]float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1})
+			[]float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}).Batch()
 	}
 	s.tracer = tr
+	// One numeric arg per span: the sim clock, correlating wall position
+	// with simulated time. Queue depth is deliberately NOT an arg — the
+	// counter samples already chart it, and on a ~150k-span trace every
+	// extra arg key is megabytes of file.
+	s.ring = tr.Ring(obs.WallPID, 1, "des", "des.event", "sim_hours")
 }
 
 // SetLogger attaches a structured logger to the kernel: every fired event
@@ -111,46 +164,188 @@ func (s *Simulator) SetLogger(l *slog.Logger) {
 	s.logDebug = l != nil && l.Enabled(context.Background(), slog.LevelDebug)
 }
 
-// fire executes one popped event, with telemetry when attached.
-func (s *Simulator) fire(next *Event) {
-	s.now = next.at
+// alloc takes a node from the free list (or grows the slab) and arms it
+// with h. The generation bump invalidates any handle still pointing at the
+// node's previous life.
+func (s *Simulator) alloc(h Handler) (int32, uint32) {
+	var id int32
+	if n := len(s.free); n > 0 {
+		id = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.nodes = append(s.nodes, node{})
+		id = int32(len(s.nodes) - 1)
+	}
+	nd := &s.nodes[id]
+	nd.gen++
+	nd.handler = h
+	nd.pending = true
+	return id, nd.gen
+}
+
+// release marks the node consumed and returns it to the free list. The
+// caller has already read the handler out.
+func (s *Simulator) release(id int32) {
+	nd := &s.nodes[id]
+	nd.pending = false
+	nd.handler = nil
+	s.free = append(s.free, id)
+}
+
+// heapAry is the heap branching factor. A 4-ary heap halves the tree depth
+// of the pop-side sift (the DES kernel's single hottest loop) at the price
+// of extra comparisons per level — and the four child keys are 32
+// contiguous bytes, a half cache line per level. The pop order is
+// identical for any arity: (key, seq) is a strict total order (seq is
+// unique), so the heap shape never affects event order.
+const heapAry = 4
+
+// push inserts a queue entry, sifting up with inline comparisons.
+func (s *Simulator) push(key uint64, m slotMeta) {
+	s.heapKeys = append(s.heapKeys, key)
+	s.heapMeta = append(s.heapMeta, m)
+	keys, meta := s.heapKeys, s.heapMeta
+	i := len(keys) - 1
+	for i > 0 {
+		p := (i - 1) / heapAry
+		pk := keys[p]
+		if key > pk || (key == pk && m.seq > meta[p].seq) {
+			break
+		}
+		keys[i], meta[i] = pk, meta[p]
+		i = p
+	}
+	keys[i], meta[i] = key, m
+}
+
+// popRoot removes the minimum entry, sifting the last entry down the hole.
+func (s *Simulator) popRoot() {
+	n := len(s.heapKeys) - 1
+	lk, lm := s.heapKeys[n], s.heapMeta[n]
+	s.heapKeys = s.heapKeys[:n]
+	s.heapMeta = s.heapMeta[:n]
+	if n == 0 {
+		return
+	}
+	keys, meta := s.heapKeys, s.heapMeta
+	i := 0
+	for {
+		c := heapAry*i + 1
+		if c >= n {
+			break
+		}
+		end := c + heapAry
+		if end > n {
+			end = n
+		}
+		// Min-child scan on the key row alone; seq breaks the (rare for
+		// float times) exact key ties.
+		m := c
+		mk := keys[c]
+		for j := c + 1; j < end; j++ {
+			jk := keys[j]
+			if jk < mk || (jk == mk && meta[j].seq < meta[m].seq) {
+				m, mk = j, jk
+			}
+		}
+		if mk > lk || (mk == lk && meta[m].seq > lm.seq) {
+			break
+		}
+		keys[i], meta[i] = mk, meta[m]
+		i = m
+	}
+	keys[i], meta[i] = lk, lm
+}
+
+// fire executes one event's handler at time at, with telemetry when
+// attached.
+func (s *Simulator) fire(at float64, seq uint64, h Handler) {
+	s.now = at
 	s.fired++
 	if s.logDebug {
 		s.logger.Debug("des event fired",
-			slog.Uint64("seq", next.seq),
-			slog.Int("pending", len(s.queue)),
+			slog.Uint64("seq", seq),
+			slog.Int("pending", s.live),
 			obs.SimHours(s.now))
 	}
-	if s.mFired == nil && s.tracer == nil {
-		next.handler(s.now)
+	if s.mFired == nil && s.ring == nil {
+		h(at)
 		return
 	}
-	start := time.Now() //lint:allow simdeterminism wall-clock telemetry, not simulation state
-	next.handler(s.now)
-	wall := time.Since(start) //lint:allow simdeterminism wall-clock telemetry, not simulation state
-	if s.mFired != nil {
-		s.mFired.Inc()
-		s.gQueue.Set(float64(len(s.queue)))
-		s.gSimTime.Set(s.now)
-		s.hEvent.Observe(wall.Seconds())
+	h(at)
+	if s.ring == nil {
+		// Metrics-only: no per-event clock read. Events are counted now
+		// and timed in windows — closeTimingWindow reads the clock once
+		// per flush window and attributes the per-event average.
+		s.firedDelta++
+		s.winEvents++
+		if s.fired&metricsFlushMask == 0 {
+			s.closeTimingWindow()
+			s.flushMetrics()
+		}
+		return
 	}
-	if s.tracer != nil {
-		s.tracer.Emit(obs.Event{
-			Name:  "des.event",
-			Cat:   "des",
-			Phase: "X",
-			TS:    s.tracer.Now() - float64(wall)/float64(time.Microsecond),
-			Dur:   float64(wall) / float64(time.Microsecond),
-			PID:   obs.WallPID,
-			TID:   1,
-			Args:  map[string]any{"sim_hours": s.now, "pending": len(s.queue)},
-		})
-		// A queue-depth sample every 256 events keeps the counter chart
-		// readable without drowning the trace in samples.
-		if s.fired%256 == 0 {
-			s.tracer.CounterSample("des_queue_depth", float64(len(s.queue)))
+	// Traced: one clock read per event; the span runs from the previous
+	// reading (set at Run/Step entry, advanced here) to now.
+	tick := time.Now() //lint:allow simdeterminism wall-clock telemetry, not simulation state
+	wall := tick.Sub(s.lastTick)
+	if s.mFired != nil {
+		s.firedDelta++
+		s.hEvent.Observe(wall.Seconds())
+		if s.fired&metricsFlushMask == 0 {
+			s.flushMetrics()
 		}
 	}
+	s.ring.RecordWall(-1, s.lastTick, wall, s.now, 0, 0)
+	// A queue-depth sample every 256 events keeps the counter chart
+	// readable without drowning the trace in samples.
+	if s.fired%256 == 0 {
+		s.tracer.CounterSample("des_queue_depth", float64(s.live))
+	}
+	s.lastTick = tick
+}
+
+// closeTimingWindow ends the current metrics-only timing window: one clock
+// read covers every event since the last close, and each gets the window's
+// per-event average in the wall histogram.
+func (s *Simulator) closeTimingWindow() {
+	tick := time.Now() //lint:allow simdeterminism wall-clock telemetry, not simulation state
+	if s.winEvents > 0 {
+		avg := tick.Sub(s.lastTick).Seconds() / float64(s.winEvents)
+		s.hEvent.ObserveN(avg, s.winEvents)
+		s.winEvents = 0
+	}
+	s.lastTick = tick
+}
+
+// flushMetrics publishes the staged counter, histogram, and gauge values
+// to the shared registry metrics.
+func (s *Simulator) flushMetrics() {
+	s.mFired.Add(s.firedDelta)
+	s.firedDelta = 0
+	s.hEvent.Flush()
+	s.gQueue.Set(float64(s.live))
+	s.gSimTime.Set(s.now)
+}
+
+// startTelemetry resets the wall-clock cursor at Run/Step entry.
+func (s *Simulator) startTelemetry() {
+	if s.mFired != nil || s.ring != nil {
+		s.lastTick = time.Now() //lint:allow simdeterminism wall-clock telemetry, not simulation state
+		s.winEvents = 0
+	}
+}
+
+// syncTelemetry brings the staged telemetry exact and publishes the span
+// ring — called on every Run/Step exit, outside the hot loop.
+func (s *Simulator) syncTelemetry() {
+	if s.mFired != nil {
+		if s.ring == nil {
+			s.closeTimingWindow()
+		}
+		s.flushMetrics()
+	}
+	s.ring.Flush()
 }
 
 // ErrPast is returned when an event is scheduled before the current time.
@@ -162,24 +357,27 @@ func (s *Simulator) Now() float64 { return s.now }
 // Fired reports how many events have executed.
 func (s *Simulator) Fired() uint64 { return s.fired }
 
-// Pending reports how many events are waiting in the queue.
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending reports how many events are waiting in the queue. Cancelled
+// events are not counted, even while their ghost slots still occupy the
+// underlying heap.
+func (s *Simulator) Pending() int { return s.live }
 
-// Schedule queues h to fire at absolute time at. It returns the Event
+// Schedule queues h to fire at absolute time at. It returns the Handle
 // (usable with Cancel) or ErrPast if at precedes the current time.
-func (s *Simulator) Schedule(at float64, h Handler) (*Event, error) {
+func (s *Simulator) Schedule(at float64, h Handler) (Handle, error) {
 	if at < s.now || math.IsNaN(at) {
-		return nil, ErrPast
+		return Handle{}, ErrPast
 	}
-	e := &Event{at: at, seq: s.seq, handler: h}
+	id, gen := s.alloc(h)
+	s.push(keyOf(at), slotMeta{seq: s.seq, id: id, gen: gen})
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e, nil
+	s.live++
+	return Handle{at: at, id: id, gen: gen}, nil
 }
 
 // After queues h to fire delay hours from now. Negative delays are clamped
 // to zero so callers can pass small jittered values safely.
-func (s *Simulator) After(delay float64, h Handler) *Event {
+func (s *Simulator) After(delay float64, h Handler) Handle {
 	if delay < 0 || math.IsNaN(delay) {
 		delay = 0
 	}
@@ -187,13 +385,22 @@ func (s *Simulator) After(delay float64, h Handler) *Event {
 	return e
 }
 
-// Cancel removes e from the queue. It reports whether the event was still
-// pending (false if it already fired or was cancelled).
-func (s *Simulator) Cancel(e *Event) bool {
-	if e == nil || e.index < 0 || e.index >= len(s.queue) || s.queue[e.index] != e {
+// Cancel removes the event h identifies from the queue. It reports whether
+// the event was still pending — false if it already fired, was cancelled,
+// or h is stale (its node has been recycled for a newer event; the
+// generation check makes such a cancel a safe no-op instead of killing the
+// wrong event). The slot itself is discarded lazily when it reaches the
+// queue root.
+func (s *Simulator) Cancel(h Handle) bool {
+	if h.gen == 0 || h.id < 0 || int(h.id) >= len(s.nodes) {
 		return false
 	}
-	heap.Remove(&s.queue, e.index)
+	nd := &s.nodes[h.id]
+	if nd.gen != h.gen || !nd.pending {
+		return false
+	}
+	s.release(h.id)
+	s.live--
 	return true
 }
 
@@ -202,41 +409,99 @@ func (s *Simulator) Halt() { s.halted = true }
 
 // Run executes events in order until the queue is empty, an event beyond
 // until is reached, or Halt is called. The clock finishes at until (or at
-// the halt time). Events scheduled exactly at until do fire.
+// the halt time). Events scheduled exactly at until do fire. A NaN until
+// runs nothing: no comparison against NaN can admit an event, so the queue
+// and clock are left untouched.
 func (s *Simulator) Run(until float64) {
+	if math.IsNaN(until) {
+		return
+	}
 	s.halted = false
-	for len(s.queue) > 0 && !s.halted {
-		next := s.queue[0]
-		if next.at > until {
+	s.startTelemetry()
+	for len(s.heapKeys) > 0 && !s.halted {
+		sm := s.heapMeta[0]
+		nd := &s.nodes[sm.id]
+		if nd.gen != sm.gen || !nd.pending {
+			// Ghost of a cancelled (or recycled) event: discard.
+			s.popRoot()
+			continue
+		}
+		at := math.Float64frombits(s.heapKeys[0])
+		if at > until {
 			break
 		}
-		heap.Pop(&s.queue)
-		s.fire(next)
+		s.popRoot()
+		h := nd.handler
+		nd.pending = false
+		nd.handler = nil
+		s.live--
+		s.fire(at, sm.seq, h)
+		// Release after the handler: a Schedule inside it must not reuse
+		// this node while the firing is still logically alive.
+		s.free = append(s.free, sm.id)
 	}
 	if !s.halted && s.now < until {
 		s.now = until
 	}
+	s.syncTelemetry()
 }
 
-// Step executes exactly one event if any is pending and reports whether one
-// fired.
+// Step executes exactly one event if any is pending and reports whether
+// one fired. Ghost slots of cancelled events are discarded along the way.
 func (s *Simulator) Step() bool {
-	if len(s.queue) == 0 {
-		return false
+	s.startTelemetry()
+	for len(s.heapKeys) > 0 {
+		at := math.Float64frombits(s.heapKeys[0])
+		sm := s.heapMeta[0]
+		nd := &s.nodes[sm.id]
+		s.popRoot()
+		if nd.gen != sm.gen || !nd.pending {
+			continue
+		}
+		h := nd.handler
+		nd.pending = false
+		nd.handler = nil
+		s.live--
+		s.fire(at, sm.seq, h)
+		s.free = append(s.free, sm.id)
+		s.syncTelemetry()
+		return true
 	}
-	next := heap.Pop(&s.queue).(*Event)
-	s.fire(next)
-	return true
+	return false
+}
+
+// Reset returns the simulator to time zero with an empty queue, keeping
+// the node slab, free list, and heap capacity for reuse — a long-lived
+// simulator (or benchmark) pays the slab allocations once. Handles
+// obtained before the Reset are invalidated: the next arm of each node
+// bumps its generation, so a stale Cancel reports false instead of
+// touching the new life. Telemetry attachments survive.
+func (s *Simulator) Reset() {
+	s.heapKeys = s.heapKeys[:0]
+	s.heapMeta = s.heapMeta[:0]
+	s.free = s.free[:0]
+	for i := range s.nodes {
+		nd := &s.nodes[i]
+		nd.pending = false
+		nd.handler = nil
+		s.free = append(s.free, int32(i))
+	}
+	s.live = 0
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+	s.halted = false
 }
 
 // Every schedules h to fire repeatedly with the given period, starting at
 // start, until the simulator stops running. The returned stop function
-// cancels future firings.
+// cancels future firings; calling it from inside h itself stops the chain
+// before the next tick is scheduled.
 func (s *Simulator) Every(start, period float64, h Handler) (stop func()) {
 	if period <= 0 {
 		panic("des: Every with non-positive period")
 	}
-	var cur *Event
+	var cur Handle
 	stopped := false
 	var tick Handler
 	tick = func(now float64) {
@@ -244,6 +509,12 @@ func (s *Simulator) Every(start, period float64, h Handler) (stop func()) {
 			return
 		}
 		h(now)
+		if stopped {
+			// stop() ran inside h: its Cancel found the current tick
+			// already firing (nothing pending), so the reschedule below
+			// would silently re-arm the chain. Bail before it does.
+			return
+		}
 		cur = s.After(period, tick)
 	}
 	cur, _ = s.Schedule(start, tick)

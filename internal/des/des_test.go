@@ -1,6 +1,7 @@
 package des
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -81,8 +82,8 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	if s.Cancel(nil) {
-		t.Error("Cancel(nil) returned true")
+	if s.Cancel(Handle{}) {
+		t.Error("Cancel of zero Handle returned true")
 	}
 }
 
@@ -246,8 +247,8 @@ func TestInstrumentedRunRecordsMetricsAndTrace(t *testing.T) {
 	if got := snap.Gauges["des_queue_depth"]; got != 0 {
 		t.Errorf("final des_queue_depth = %v, want 0", got)
 	}
-	if got := snap.Gauges["des_sim_hours"]; got != n-1 {
-		t.Errorf("des_sim_hours = %v, want %d (last event time)", got, n-1)
+	if got := snap.Gauges["des_sim_hours"]; got != 1000 {
+		t.Errorf("des_sim_hours = %v, want 1000 (clock synced exactly at Run exit)", got)
 	}
 	if got := snap.Histograms["des_event_wall_seconds"].Count; got != n {
 		t.Errorf("event histogram count = %d, want %d", got, n)
@@ -290,19 +291,32 @@ func TestInstrumentMetricsOnlyAndStep(t *testing.T) {
 }
 
 func BenchmarkScheduleAndRun(b *testing.B) {
+	// One long-lived simulator recycled with Reset between iterations —
+	// the Monte-Carlo campaign pattern the pooled kernel is built for.
+	// Steady-state allocs/op is the pooling gate CI smoke-checks.
 	r := simrand.New(1)
 	times := make([]float64, 10000)
 	for i := range times {
 		times[i] = r.Float64() * 1000
 	}
+	var s Simulator
+	// One untimed iteration grows the pool slabs and heap arrays so the
+	// counted loop measures the recycled steady state (0 allocs/op even at
+	// short -benchtime).
+	benchIterate(&s, times)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var s Simulator
-		for _, at := range times {
-			s.After(at, func(float64) {})
-		}
-		s.Run(1000)
+		benchIterate(&s, times)
 	}
+}
+
+func benchIterate(s *Simulator, times []float64) {
+	s.Reset()
+	for _, at := range times {
+		s.After(at, func(float64) {})
+	}
+	s.Run(1000)
 }
 
 func BenchmarkObsScheduleAndRunInstrumented(b *testing.B) {
@@ -314,15 +328,190 @@ func BenchmarkObsScheduleAndRunInstrumented(b *testing.B) {
 		times[i] = r.Float64() * 1000
 	}
 	reg := obs.NewRegistry()
+	var s Simulator
+	s.Instrument(reg, nil)
+	benchIterate(&s, times)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var s Simulator
-		s.Instrument(reg, nil)
-		for _, at := range times {
-			s.After(at, func(float64) {})
-		}
-		s.Run(1000)
+		benchIterate(&s, times)
 	}
+}
+
+func TestRunNaNUntilRunsNothing(t *testing.T) {
+	// Regression: NaN poisons every `at > until` comparison, so the old
+	// loop drained the whole queue. NaN must run nothing past now.
+	var s Simulator
+	fired := 0
+	s.After(1, func(float64) { fired++ })
+	s.After(2, func(float64) { fired++ })
+	s.Run(math.NaN())
+	if fired != 0 {
+		t.Errorf("Run(NaN) fired %d events, want 0", fired)
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending after Run(NaN) = %d, want 2", s.Pending())
+	}
+	if s.Now() != 0 {
+		t.Errorf("Now after Run(NaN) = %v, want 0 (clock untouched)", s.Now())
+	}
+	s.Run(10)
+	if fired != 2 {
+		t.Errorf("queue unusable after Run(NaN): fired = %d, want 2", fired)
+	}
+}
+
+func TestScheduleNaNRejected(t *testing.T) {
+	var s Simulator
+	if _, err := s.Schedule(math.NaN(), func(float64) {}); err != ErrPast {
+		t.Errorf("Schedule(NaN): err = %v, want ErrPast", err)
+	}
+	fired := false
+	s.After(math.NaN(), func(float64) { fired = true })
+	s.Run(1)
+	if !fired {
+		t.Error("After(NaN) did not clamp to an immediate event")
+	}
+}
+
+func TestEveryStopInsideHandler(t *testing.T) {
+	// Regression: stop() called from inside the tick handler used to let
+	// the handler reschedule the next tick anyway, leaving a stale event.
+	var s Simulator
+	ticks := 0
+	var stop func()
+	stop = s.Every(1, 1, func(float64) {
+		ticks++
+		if ticks == 3 {
+			stop()
+		}
+	})
+	s.Run(100)
+	if ticks != 3 {
+		t.Errorf("ticks = %d, want 3 (stop inside handler must halt the chain)", ticks)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0 (no stale tick left in queue)", s.Pending())
+	}
+}
+
+func TestCancelStaleHandleAfterRecycle(t *testing.T) {
+	// Pooling hazard: after an event fires, its node returns to the free
+	// list and is re-armed for the next Schedule. A handle to the old life
+	// must not cancel the new occupant.
+	var s Simulator
+	old := s.After(1, func(float64) {})
+	s.Run(2) // fires; node recycled to free list
+	fired := false
+	s.After(1, func(float64) { fired = true }) // reuses the node
+	if s.Cancel(old) {
+		t.Error("stale handle cancelled a recycled event")
+	}
+	s.Run(5)
+	if !fired {
+		t.Error("recycled event did not fire (stale cancel hit it)")
+	}
+}
+
+func TestCancelFromInsideFiringHandler(t *testing.T) {
+	// Self-cancel while firing must report false (the event is no longer
+	// pending) and must not corrupt the free list by double-releasing.
+	var s Simulator
+	var self Handle
+	otherFired := false
+	selfCancel := true
+	self = s.After(1, func(float64) { selfCancel = s.Cancel(self) })
+	s.After(2, func(float64) { otherFired = true })
+	s.Run(10)
+	if selfCancel {
+		t.Error("Cancel of the currently-firing event returned true")
+	}
+	if !otherFired {
+		t.Error("event after a self-cancelling handler did not fire")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestResetInvalidatesHandles(t *testing.T) {
+	var s Simulator
+	fired := 0
+	old := s.After(5, func(float64) { fired++ })
+	s.After(1, func(float64) { fired++ })
+	s.Run(2)
+	s.Reset()
+	if s.Now() != 0 || s.Pending() != 0 || s.Fired() != 0 {
+		t.Fatalf("Reset left state: now=%v pending=%d fired=%d", s.Now(), s.Pending(), s.Fired())
+	}
+	reused := false
+	s.After(1, func(float64) { reused = true }) // re-arms a pooled node
+	if s.Cancel(old) {
+		t.Error("pre-Reset handle cancelled a post-Reset event")
+	}
+	s.Run(10)
+	if !reused {
+		t.Error("post-Reset event did not fire")
+	}
+	if fired != 1 {
+		t.Errorf("pre-Reset events fired %d times, want 1 (only the one before Reset)", fired)
+	}
+}
+
+// checkHeapInvariant verifies the min-heap property over the slot slab and
+// that live-node accounting matches the pending slots actually in the heap.
+func checkHeapInvariant(t *testing.T, s *Simulator) {
+	t.Helper()
+	if len(s.heapKeys) != len(s.heapMeta) {
+		t.Fatalf("key row and meta row diverged: %d vs %d", len(s.heapKeys), len(s.heapMeta))
+	}
+	less := func(i, j int) bool {
+		if s.heapKeys[i] != s.heapKeys[j] {
+			return s.heapKeys[i] < s.heapKeys[j]
+		}
+		return s.heapMeta[i].seq < s.heapMeta[j].seq
+	}
+	for i := 1; i < len(s.heapKeys); i++ {
+		p := (i - 1) / heapAry
+		if less(i, p) {
+			t.Fatalf("heap invariant broken at %d: child (%d,%d) < parent (%d,%d)",
+				i, s.heapKeys[i], s.heapMeta[i].seq, s.heapKeys[p], s.heapMeta[p].seq)
+		}
+	}
+	livePending := 0
+	for _, sm := range s.heapMeta {
+		nd := &s.nodes[sm.id]
+		if nd.gen == sm.gen && nd.pending {
+			livePending++
+		}
+	}
+	if livePending != s.live {
+		t.Fatalf("live = %d but heap holds %d pending slots", s.live, livePending)
+	}
+}
+
+func TestHeapInvariantUnderChurn(t *testing.T) {
+	// Heavy interleaved schedule/cancel/step churn, checking the heap
+	// invariant and pool accounting at every step.
+	r := simrand.New(42)
+	var s Simulator
+	var handles []Handle
+	for i := 0; i < 2000; i++ {
+		switch {
+		case r.Bool(0.5):
+			handles = append(handles, s.After(r.Float64()*100, func(float64) {}))
+		case r.Bool(0.5) && len(handles) > 0:
+			s.Cancel(handles[r.Intn(len(handles))])
+		default:
+			s.Step()
+		}
+		checkHeapInvariant(t, &s)
+	}
+	s.Run(math.Inf(1))
+	if s.Pending() != 0 {
+		t.Errorf("Pending after drain = %d, want 0", s.Pending())
+	}
+	checkHeapInvariant(t, &s)
 }
 
 func TestScheduleCancelInterleavingProperty(t *testing.T) {
@@ -332,7 +521,7 @@ func TestScheduleCancelInterleavingProperty(t *testing.T) {
 		r := simrand.New(seed)
 		var s Simulator
 		type tracked struct {
-			ev        *Event
+			ev        Handle
 			cancelled bool
 			fired     int
 		}

@@ -28,7 +28,11 @@ import (
 
 // Fault is one device issue detected by monitoring.
 type Fault struct {
-	// Device is the virtual fleet device name (type-prefixed).
+	// Device is the virtual fleet device name (type-prefixed). It is
+	// fabricated lazily — the identity draws happen at schedule time (so
+	// RNG stream order is independent of whether anything reads the name),
+	// but the string itself is only built on the paths that render it:
+	// incident reports and debug logs, a fraction of a percent of faults.
 	Device string
 	// Type is the device type.
 	Type topology.DeviceType
@@ -41,6 +45,37 @@ type Fault struct {
 	Start float64
 	// Year is the calendar year of Start.
 	Year int
+
+	// ordinal and fabric are the deferred name-fabrication inputs drawn at
+	// schedule time: the device's uniform position in that year's
+	// population, and (for racks from the fabric deployment year on)
+	// whether it lives in the fabric data center.
+	ordinal int
+	fabric  bool
+}
+
+// ensureDevice materializes the lazily-fabricated device name.
+func (f *Fault) ensureDevice() {
+	if f.Device != "" {
+		return
+	}
+	unit, dc, region := "", "dc1", "regiona"
+	switch f.Type {
+	case topology.RSW:
+		// Racks split across designs; fabric racks exist from 2015.
+		if f.fabric {
+			unit, dc, region = fmt.Sprintf("pod%03d", 1+f.ordinal/48), "dc2", "regionb"
+		} else {
+			unit = fmt.Sprintf("cl%03d", 1+f.ordinal/80)
+		}
+	case topology.CSW:
+		unit = fmt.Sprintf("cl%03d", 1+f.ordinal/4)
+	case topology.FSW:
+		unit, dc, region = fmt.Sprintf("pod%03d", 1+f.ordinal/4), "dc2", "regionb"
+	case topology.ESW, topology.SSW:
+		dc, region = "dc2", "regionb"
+	}
+	f.Device = topology.MakeName(f.Type, f.ordinal, unit, dc, region)
 }
 
 // Driver runs the intra-DC simulation. Construct with NewDriver, then call
@@ -64,15 +99,19 @@ type Driver struct {
 	ElevateYear   int
 	ElevateFactor float64
 
-	sim       *des.Simulator
-	src       *simrand.Source
-	manual    *simrand.Stream
-	details   *simrand.Stream
-	repTopo   *topology.Network
-	health    *health.Engine
-	logger    *slog.Logger
-	faults    int
-	incidents int
+	sim     *des.Simulator
+	src     *simrand.Source
+	manual  *simrand.Stream
+	details *simrand.Stream
+	repTopo *topology.Network
+	health  *health.Engine
+	logger  *slog.Logger
+	// classShares caches remediation.ClassShares() — the weights are
+	// constants, and fetching a fresh slice per fault was a measurable
+	// share of the schedule loop's allocations.
+	classShares []float64
+	faults      int
+	incidents   int
 }
 
 // NewDriver wires a Driver over a fresh simulator, representative topology,
@@ -85,15 +124,16 @@ func NewDriver(fl *fleet.Model, seed uint64) (*Driver, error) {
 	sim := &des.Simulator{}
 	src := simrand.NewSource(seed)
 	return &Driver{
-		Fleet:    fl,
-		Engine:   remediation.NewEngine(sim, src.Stream("remediation")),
-		Assessor: service.NewAssessor(repTopo),
-		Store:    sev.NewStore(),
-		sim:      sim,
-		src:      src,
-		manual:   src.Stream("manual-repair"),
-		details:  src.Stream("incident-details"),
-		repTopo:  repTopo,
+		Fleet:       fl,
+		Engine:      remediation.NewEngine(sim, src.Stream("remediation")),
+		Assessor:    service.NewAssessor(repTopo),
+		Store:       sev.NewStore(),
+		sim:         sim,
+		src:         src,
+		manual:      src.Stream("manual-repair"),
+		details:     src.Stream("incident-details"),
+		repTopo:     repTopo,
+		classShares: remediation.ClassShares(),
 	}, nil
 }
 
@@ -189,6 +229,9 @@ func (d *Driver) Run(from, to int) (*sev.Store, error) {
 		// the books at the finite end of the simulated range.
 		d.health.Evaluate(des.YearStart(to+1, fleet.FirstYear))
 	}
+	// Publish any repair spans still staged in the engine's ring buffers so
+	// a trace written after Run sees the full repair history.
+	d.Engine.FlushTrace()
 	return d.Store, nil
 }
 
@@ -216,15 +259,24 @@ func (d *Driver) scheduleFaults(year int, dt topology.DeviceType, n int) {
 	timing := d.src.Stream(fmt.Sprintf("timing/%d/%s", year, dt))
 	details := d.src.Stream(fmt.Sprintf("details/%d/%s", year, dt))
 	yearStart := des.YearStart(year, fleet.FirstYear)
+	pop := d.Fleet.Population(year, dt)
+	fabricRacks := dt == topology.RSW && year >= fleet.FabricDeployYear
 	for i := 0; i < n; i++ {
 		f := Fault{
 			Type:  dt,
-			Class: remediation.FaultClass(details.Weighted(remediation.ClassShares())),
+			Class: remediation.FaultClass(details.Weighted(d.classShares)),
 			Scope: service.Scope(details.Weighted(scopeWeights[dt])),
 			Start: yearStart + timing.Float64()*des.HoursPerYear,
 			Year:  year,
 		}
-		f.Device = d.virtualName(details, year, dt)
+		// Identity draws (ordinal uniform over that year's population, so
+		// incident density per named device matches the fleet's) happen
+		// here in the original stream order; the name string itself is
+		// fabricated lazily by ensureDevice.
+		f.ordinal = 1 + details.Intn(pop)
+		if fabricRacks {
+			f.fabric = details.Bool(0.5)
+		}
 		d.faults++
 		if _, err := d.sim.Schedule(f.Start, func(float64) { d.handleFault(f) }); err != nil {
 			panic(fmt.Sprintf("faults: scheduling fault: %v", err))
@@ -232,34 +284,10 @@ func (d *Driver) scheduleFaults(year int, dt topology.DeviceType, n int) {
 	}
 }
 
-// virtualName fabricates a fleet device name whose ordinal is uniform over
-// that year's population, so incident density per named device matches the
-// fleet's.
-func (d *Driver) virtualName(rng *simrand.Stream, year int, dt topology.DeviceType) string {
-	pop := d.Fleet.Population(year, dt)
-	ordinal := 1 + rng.Intn(pop)
-	unit, dc, region := "", "dc1", "regiona"
-	switch dt {
-	case topology.RSW:
-		// Racks split across designs; fabric racks exist from 2015.
-		if year >= fleet.FabricDeployYear && rng.Bool(0.5) {
-			unit, dc, region = fmt.Sprintf("pod%03d", 1+ordinal/48), "dc2", "regionb"
-		} else {
-			unit = fmt.Sprintf("cl%03d", 1+ordinal/80)
-		}
-	case topology.CSW:
-		unit = fmt.Sprintf("cl%03d", 1+ordinal/4)
-	case topology.FSW:
-		unit, dc, region = fmt.Sprintf("pod%03d", 1+ordinal/4), "dc2", "regionb"
-	case topology.ESW, topology.SSW:
-		dc, region = "dc2", "regionb"
-	}
-	return topology.MakeName(dt, ordinal, unit, dc, region)
-}
-
 func (d *Driver) handleFault(f Fault) {
 	d.health.RecordFault(f.Start, f.Type.String())
 	if d.logger != nil {
+		f.ensureDevice()
 		d.logger.Debug("fault detected",
 			slog.String("device", f.Device),
 			slog.String("class", f.Class.String()),
@@ -287,6 +315,7 @@ func (d *Driver) handleFault(f Fault) {
 }
 
 func (d *Driver) recordIncident(f Fault) {
+	f.ensureDevice()
 	details := d.details
 	rep := d.representative(details, f.Type)
 	as, err := d.Assessor.Assess(rep, f.Scope)

@@ -13,7 +13,6 @@ package fleet
 
 import (
 	"fmt"
-	"sort"
 
 	"dcnr/internal/topology"
 )
@@ -27,29 +26,28 @@ const (
 	NumYears  = LastYear - FirstYear + 1
 )
 
-// basePopulation holds the unscaled per-year device populations. Order:
-// Core, CSA, CSW, ESW, SSW, FSW, RSW (topology.IntraDCTypes order).
-var basePopulation = map[int]map[topology.DeviceType]int{
-	2011: {topology.Core: 56, topology.CSA: 6, topology.CSW: 320, topology.ESW: 0, topology.SSW: 0, topology.FSW: 0, topology.RSW: 9000},
-	2012: {topology.Core: 88, topology.CSA: 8, topology.CSW: 448, topology.ESW: 0, topology.SSW: 0, topology.FSW: 0, topology.RSW: 14000},
-	2013: {topology.Core: 120, topology.CSA: 10, topology.CSW: 576, topology.ESW: 0, topology.SSW: 0, topology.FSW: 0, topology.RSW: 20000},
-	2014: {topology.Core: 160, topology.CSA: 12, topology.CSW: 704, topology.ESW: 0, topology.SSW: 0, topology.FSW: 0, topology.RSW: 27500},
-	2015: {topology.Core: 200, topology.CSA: 11, topology.CSW: 704, topology.ESW: 24, topology.SSW: 96, topology.FSW: 288, topology.RSW: 38000},
-	2016: {topology.Core: 244, topology.CSA: 9, topology.CSW: 672, topology.ESW: 44, topology.SSW: 176, topology.FSW: 528, topology.RSW: 50000},
-	2017: {topology.Core: 288, topology.CSA: 8, topology.CSW: 640, topology.ESW: 64, topology.SSW: 256, topology.FSW: 768, topology.RSW: 68000},
+// numTypes sizes the population rows: one column per device type constant.
+const numTypes = int(topology.BBR) + 1
+
+// basePopulation holds the unscaled per-year device populations in
+// struct-of-arrays form: row year−FirstYear, column the DeviceType
+// constant. A population lookup is two array indexes — the fault driver
+// and the analysis tables query it inside loops, and the previous
+// two-level map paid a hash per level.
+var basePopulation = [NumYears][numTypes]int{
+	2011 - FirstYear: {topology.Core: 56, topology.CSA: 6, topology.CSW: 320, topology.RSW: 9000},
+	2012 - FirstYear: {topology.Core: 88, topology.CSA: 8, topology.CSW: 448, topology.RSW: 14000},
+	2013 - FirstYear: {topology.Core: 120, topology.CSA: 10, topology.CSW: 576, topology.RSW: 20000},
+	2014 - FirstYear: {topology.Core: 160, topology.CSA: 12, topology.CSW: 704, topology.RSW: 27500},
+	2015 - FirstYear: {topology.Core: 200, topology.CSA: 11, topology.CSW: 704, topology.ESW: 24, topology.SSW: 96, topology.FSW: 288, topology.RSW: 38000},
+	2016 - FirstYear: {topology.Core: 244, topology.CSA: 9, topology.CSW: 672, topology.ESW: 44, topology.SSW: 176, topology.FSW: 528, topology.RSW: 50000},
+	2017 - FirstYear: {topology.Core: 288, topology.CSA: 8, topology.CSW: 640, topology.ESW: 64, topology.SSW: 256, topology.FSW: 768, topology.RSW: 68000},
 }
 
 // employees is the full-time employee count per year (publicly reported
-// figures the paper cites from Statista for Figure 6).
-var employees = map[int]int{
-	2011: 3200,
-	2012: 4619,
-	2013: 6337,
-	2014: 9199,
-	2015: 12691,
-	2016: 17048,
-	2017: 25105,
-}
+// figures the paper cites from Statista for Figure 6), indexed by
+// year−FirstYear.
+var employees = [NumYears]int{3200, 4619, 6337, 9199, 12691, 17048, 25105}
 
 // FabricDeployYear is the year the fabric design enters the fleet (the
 // "Fabric deployed" marker on Figures 3, 5, 7–12).
@@ -79,13 +77,12 @@ func New(scale int) *Model {
 func (m *Model) Scale() int { return m.scale }
 
 // Population returns the device count of type t deployed during year.
-// Years outside the study period return 0.
+// Years outside the study period (and unknown types) return 0.
 func (m *Model) Population(year int, t topology.DeviceType) int {
-	yp, ok := basePopulation[year]
-	if !ok {
+	if year < FirstYear || year > LastYear || t < 0 || int(t) >= numTypes {
 		return 0
 	}
-	return yp[t] * m.scale
+	return basePopulation[year-FirstYear][t] * m.scale
 }
 
 // Populations returns the device count of every type deployed during
@@ -123,15 +120,19 @@ func (m *Model) DesignPopulation(year int, d topology.Design) int {
 
 // Employees returns the employee-count proxy for year, 0 outside the study
 // period.
-func (m *Model) Employees(year int) int { return employees[year] }
+func (m *Model) Employees(year int) int {
+	if year < FirstYear || year > LastYear {
+		return 0
+	}
+	return employees[year-FirstYear]
+}
 
 // Years returns the study years in ascending order.
 func (m *Model) Years() []int {
-	ys := make([]int, 0, len(basePopulation))
-	for y := range basePopulation {
+	ys := make([]int, 0, NumYears)
+	for y := FirstYear; y <= LastYear; y++ {
 		ys = append(ys, y)
 	}
-	sort.Ints(ys)
 	return ys
 }
 

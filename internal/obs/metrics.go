@@ -128,6 +128,85 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Batch returns a single-goroutine staging buffer for h: Observe on the
+// batch is plain arithmetic (no atomics), and Flush folds the staged
+// samples into the shared histogram in one pass. Hot loops that observe
+// per event (the DES kernel) stage locally and flush at sync points, so
+// concurrent snapshot readers see slightly stale but always consistent
+// totals. A nil Histogram returns a nil (no-op) batch.
+func (h *Histogram) Batch() *HistogramBatch {
+	if h == nil {
+		return nil
+	}
+	return &HistogramBatch{h: h, counts: make([]int64, len(h.counts))}
+}
+
+// HistogramBatch stages observations for one Histogram. It is NOT safe for
+// concurrent use — one goroutine owns a batch. The nil batch is a no-op.
+type HistogramBatch struct {
+	h      *Histogram
+	counts []int64
+	count  int64
+	sum    float64
+}
+
+// Observe stages one sample.
+func (b *HistogramBatch) Observe(v float64) {
+	if b == nil {
+		return
+	}
+	bounds := b.h.bounds
+	i := 0
+	for i < len(bounds) && v > bounds[i] {
+		i++
+	}
+	b.counts[i]++
+	b.count++
+	b.sum += v
+}
+
+// ObserveN stages n samples of value v in one bucket scan — how callers
+// that time in windows (one clock read across n events) attribute the
+// per-event average to each event.
+func (b *HistogramBatch) ObserveN(v float64, n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	bounds := b.h.bounds
+	i := 0
+	for i < len(bounds) && v > bounds[i] {
+		i++
+	}
+	b.counts[i] += n
+	b.count += n
+	b.sum += v * float64(n)
+}
+
+// Flush publishes the staged samples to the shared histogram and clears
+// the batch. Cheap when nothing is staged.
+func (b *HistogramBatch) Flush() {
+	if b == nil || b.count == 0 {
+		return
+	}
+	h := b.h
+	for i, c := range b.counts {
+		if c != 0 {
+			h.counts[i].Add(c)
+			b.counts[i] = 0
+		}
+	}
+	h.count.Add(b.count)
+	b.count = 0
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + b.sum)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	b.sum = 0
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {

@@ -52,11 +52,26 @@ type Tracer struct {
 	mu     sync.Mutex
 	start  time.Time
 	events []Event
+	// rings are the batched hot-loop recorders created by Ring; their
+	// flushed records join events at read time (Events, Len, WriteJSON).
+	rings []*SpanRing
 }
 
 // NewTracer returns a Tracer whose wall-clock origin (trace ts 0) is now.
 func NewTracer() *Tracer {
 	return &Tracer{start: time.Now()}
+}
+
+// Fork returns a new, empty tracer sharing t's wall-clock origin, so
+// events recorded on both land on one consistent timeline when written
+// into the same file with a TraceJSONWriter. The fork lets a caller
+// serialize one phase's (large) trace while a later phase records on the
+// fork — the two never contend. A nil tracer forks to nil.
+func (t *Tracer) Fork() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{start: t.start}
 }
 
 // Enabled reports whether events are being recorded. It is the hot-path
@@ -186,49 +201,155 @@ func (t *Tracer) SimInstant(tid int, cat, name string, atHours float64, args map
 	t.Emit(Event{Name: name, Cat: cat, Phase: "i", TS: SimMicros(atHours), PID: SimPID, TID: tid, Args: args})
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of recorded events, including every ring's
+// flushed records.
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.events)
+	n := len(t.events)
+	rings := t.rings
+	t.mu.Unlock()
+	for _, r := range rings {
+		n += r.ringLen()
+	}
+	return n
 }
 
-// Events returns a copy of the recorded events in emission order.
+// Events returns a copy of the recorded events: directly-emitted events in
+// emission order, followed by each ring's flushed records (materialized
+// with their args maps) in ring-creation order. Trace timestamps, not file
+// order, position events on the timeline.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]Event(nil), t.events...)
-}
-
-// traceFile is the JSON object format of the trace-event spec; both
-// chrome://tracing and Perfetto accept it.
-type traceFile struct {
-	TraceEvents     []Event `json:"traceEvents"`
-	DisplayTimeUnit string  `json:"displayTimeUnit"`
+	out := append([]Event(nil), t.events...)
+	rings := t.rings
+	t.mu.Unlock()
+	for _, r := range rings {
+		out = append(out, r.materialize()...)
+	}
+	return out
 }
 
 // WriteJSON writes the trace in Chrome trace-event JSON object format,
 // prefixed with metadata events that name the wall-clock and
 // simulation-time tracks in the viewer.
+//
+// Directly-emitted events go through encoding/json; ring records use their
+// hand-rolled encoder and a batched buffer, so a multi-hundred-thousand
+// span trace streams out in tens of milliseconds instead of seconds. The
+// two sections may interleave arbitrarily on disk — the viewer orders by
+// timestamp, not file position.
 func (t *Tracer) WriteJSON(w io.Writer) error {
+	tw := NewTraceJSONWriter(w)
+	if err := tw.Add(t); err != nil {
+		return err
+	}
+	return tw.Close()
+}
+
+// TraceJSONWriter streams one Chrome trace-event file from any number of
+// tracers: NewTraceJSONWriter writes the header, each Add appends one
+// tracer's events, Close writes the trailer. Tracers that should share a
+// timeline must share a wall-clock origin (Tracer.Fork).
+//
+// The point of the split is pipelining: a caller can Add an early phase's
+// bulky trace — serialization plus disk write — while a later phase is
+// still simulating on a fork, then Add the fork and Close. Methods must
+// not be called concurrently with each other; an Add may run concurrently
+// with recording on *other* tracers only.
+type TraceJSONWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewTraceJSONWriter starts a trace file on w: header plus the metadata
+// events naming the wall-clock and simulation-time tracks.
+func NewTraceJSONWriter(w io.Writer) *TraceJSONWriter {
 	meta := []Event{
 		{Name: "process_name", Phase: "M", PID: WallPID, TID: 1,
 			Args: map[string]any{"name": "wall clock"}},
 		{Name: "process_name", Phase: "M", PID: SimPID, TID: 1,
 			Args: map[string]any{"name": "simulation time (1 s = 1 simulated hour)"}},
 	}
-	var events []Event
-	if t != nil {
-		events = t.Events()
+	tw := &TraceJSONWriter{w: w, buf: make([]byte, 0, 1<<20)}
+	tw.buf = append(tw.buf, `{"traceEvents":[`...)
+	for i, e := range meta {
+		if i > 0 {
+			tw.buf = append(tw.buf, ',')
+		}
+		data, err := json.Marshal(e)
+		if err != nil {
+			tw.err = err
+			return tw
+		}
+		tw.buf = append(tw.buf, data...)
 	}
-	return json.NewEncoder(w).Encode(traceFile{
-		TraceEvents:     append(meta, events...),
-		DisplayTimeUnit: "ms",
-	})
+	return tw
+}
+
+func (tw *TraceJSONWriter) flush(force bool) error {
+	if !force && len(tw.buf) < 1<<19 {
+		return nil
+	}
+	if _, err := tw.w.Write(tw.buf); err != nil {
+		tw.err = err
+		return err
+	}
+	tw.buf = tw.buf[:0]
+	return nil
+}
+
+// Add appends t's events — direct events first, then every ring's flushed
+// records. A nil tracer adds nothing. Flush rings before calling: records
+// still staged in a ring's buffer are not visible here.
+func (tw *TraceJSONWriter) Add(t *Tracer) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	var direct []Event
+	var rings []*SpanRing
+	if t != nil {
+		t.mu.Lock()
+		direct = append([]Event(nil), t.events...)
+		rings = t.rings
+		t.mu.Unlock()
+	}
+	for _, e := range direct {
+		data, err := json.Marshal(e)
+		if err != nil {
+			tw.err = err
+			return err
+		}
+		tw.buf = append(tw.buf, ',')
+		tw.buf = append(tw.buf, data...)
+		if err := tw.flush(false); err != nil {
+			return err
+		}
+	}
+	for _, r := range rings {
+		for _, blk := range r.blocks() {
+			tw.buf = r.appendJSONRecs(tw.buf, blk)
+			if err := tw.flush(false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close writes the trailer and flushes. It does not close the underlying
+// writer.
+func (tw *TraceJSONWriter) Close() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.buf = append(tw.buf, `],"displayTimeUnit":"ms"}`...)
+	tw.buf = append(tw.buf, '\n')
+	return tw.flush(true)
 }

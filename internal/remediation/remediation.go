@@ -215,7 +215,14 @@ type Engine struct {
 	hWait      *obs.Histogram
 	hRepair    *obs.Histogram
 	tracer     *obs.Tracer
-	logger     *slog.Logger
+	// rings holds one batched span recorder per supported device type
+	// (indexed by the type constant). Repairs are by far the most frequent
+	// trace record the whole simulation produces (~one per fault), so the
+	// hot path stages 48-byte records instead of building an args map and
+	// taking the tracer lock each time. Submit's mutex satisfies the rings'
+	// single-writer contract; FlushTrace publishes the tails.
+	rings  []*obs.SpanRing
+	logger *slog.Logger
 }
 
 // NewEngine returns an enabled Engine drawing randomness from rng and
@@ -236,8 +243,9 @@ func NewEngine(sim *des.Simulator, rng *simrand.Stream) *Engine {
 // waiting or executing), and the remediation_wait_hours /
 // remediation_repair_seconds histograms. When tr is non-nil each automated
 // repair records a submit→outcome span on the simulation-time track (one
-// lane per device type) and each escalation an instant marker. Either
-// argument may be nil.
+// lane per device type) and each escalation an instant marker. Repair spans
+// are staged in per-type ring buffers; call FlushTrace before reading the
+// trace. Either argument may be nil.
 func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -252,6 +260,35 @@ func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 			[]float64{1, 2, 5, 10, 30, 60, 120, 300})
 	}
 	e.tracer = tr
+	e.rings = nil
+	if tr != nil {
+		e.rings = make([]*obs.SpanRing, int(topology.BBR)+1)
+		for t := topology.DeviceType(0); int(t) < len(e.rings); t++ {
+			if !policies[t].supported {
+				continue
+			}
+			// The device type is carried by the lane, named once via
+			// thread_name metadata, rather than repeated as an arg on
+			// each of tens of thousands of repair spans.
+			tr.Emit(obs.Event{Name: "thread_name", Phase: "M",
+				PID: obs.SimPID, TID: int(t) + 1,
+				Args: map[string]any{"name": t.String() + " remediation"}})
+			e.rings[t] = tr.Ring(obs.SimPID, int(t)+1, "remediation", "repair",
+				"priority", "wait_hours", "repair_seconds").
+				SetNames(faultClassNames[:]...)
+		}
+	}
+}
+
+// FlushTrace publishes any repair spans still staged in the engine's ring
+// buffers to the tracer. Call after the simulation finishes, before the
+// trace is read or written; the faults driver does this at the end of Run.
+func (e *Engine) FlushTrace() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range e.rings {
+		r.Flush()
+	}
 }
 
 // SetLogger attaches a structured logger: escalations log at debug with
@@ -328,14 +365,10 @@ func (e *Engine) Submit(t topology.DeviceType, class FaultClass, done func(Outco
 	e.hWait.Observe(wait)
 	e.hRepair.Observe(repairSec)
 	e.gQueue.Add(1)
-	if e.tracer != nil {
-		e.tracer.EmitSimSpan(int(t)+1, "remediation", class.String(),
-			e.sim.Now(), wait+repairSec/3600, map[string]any{
-				"device_type":    t.String(),
-				"priority":       priority,
-				"wait_hours":     wait,
-				"repair_seconds": repairSec,
-			})
+	if int(t) < len(e.rings) {
+		e.rings[t].Record(int32(class), obs.SimMicros(e.sim.Now()),
+			obs.SimMicros(wait+repairSec/3600),
+			float64(priority), wait, repairSec)
 	}
 
 	out := Outcome{

@@ -312,7 +312,9 @@ func TestInstrumentedEngineCounters(t *testing.T) {
 	if got := reg.Histogram("remediation_wait_hours", nil).Count(); got != rep {
 		t.Errorf("wait histogram count = %d, want %d", got, rep)
 	}
-	// Trace: one sim-track span per repair, one instant per escalation.
+	// Trace: one sim-track span per repair (staged in ring buffers until
+	// FlushTrace), one instant per escalation.
+	e.FlushTrace()
 	spans, instants := 0, 0
 	for _, ev := range tr.Events() {
 		if ev.PID != obs.SimPID {

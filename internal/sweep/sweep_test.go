@@ -3,6 +3,7 @@ package sweep
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -217,6 +218,28 @@ func TestSweepValidateNormalizes(t *testing.T) {
 	if cfg.Scenarios[0].FromYear != 2011 || cfg.Scenarios[0].ToYear != 2017 {
 		t.Errorf("scenario years [%d, %d] not normalized to the study period",
 			cfg.Scenarios[0].FromYear, cfg.Scenarios[0].ToYear)
+	}
+}
+
+func TestSweepValidateClampsWorkers(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cfg := Config{Seeds: []uint64{1}, Workers: max + 5}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if cfg.Workers != max {
+		t.Errorf("Workers = %d, want clamp to GOMAXPROCS %d", cfg.Workers, max)
+	}
+	// At or below the cap, the requested value stands — including the
+	// "one per CPU" default of 0.
+	for _, w := range []int{0, 1, max} {
+		cfg := Config{Seeds: []uint64{1}, Workers: w}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Validate(workers=%d): %v", w, err)
+		}
+		if cfg.Workers != w {
+			t.Errorf("Workers = %d after Validate, want %d untouched", cfg.Workers, w)
+		}
 	}
 }
 

@@ -2,7 +2,9 @@ package topology
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 )
 
 // Network is an undirected device graph. The zero value is empty and ready
@@ -12,6 +14,72 @@ type Network struct {
 	adj     map[string][]string
 	// order preserves insertion order for deterministic iteration.
 	order []string
+
+	// mu guards idx, the lazily-built integer-indexed view of the graph
+	// that the hot connectivity queries (StrandedRacks) run on. Graph
+	// mutations drop it; the next query rebuilds.
+	mu  sync.Mutex
+	idx *netIndex
+}
+
+// netIndex is the flat, integer-indexed form of the graph: device i is
+// n.order[i]. Visited/down marks are epoch-stamped scratch arrays, so a
+// query costs zero allocations and no clearing — bumping the epoch
+// invalidates every previous mark at once.
+type netIndex struct {
+	id    map[string]int32
+	adj   [][]int32
+	cores []int32
+	rsws  []int32
+	seen  []uint32
+	down  []uint32
+	queue []int32
+	epoch uint32
+}
+
+// ensureIndex returns the integer index, building it on first use after a
+// mutation. Callers must hold n.mu.
+func (n *Network) ensureIndex() *netIndex {
+	if n.idx != nil {
+		return n.idx
+	}
+	ix := &netIndex{
+		id:   make(map[string]int32, len(n.order)),
+		adj:  make([][]int32, len(n.order)),
+		seen: make([]uint32, len(n.order)),
+		down: make([]uint32, len(n.order)),
+	}
+	for i, name := range n.order {
+		ix.id[name] = int32(i)
+	}
+	for i, name := range n.order {
+		nbrs := n.adj[name]
+		row := make([]int32, len(nbrs))
+		for j, nb := range nbrs {
+			row[j] = ix.id[nb]
+		}
+		ix.adj[i] = row
+		switch n.devices[name].Type {
+		case Core:
+			ix.cores = append(ix.cores, int32(i))
+		case RSW:
+			ix.rsws = append(ix.rsws, int32(i))
+		}
+	}
+	n.idx = ix
+	return ix
+}
+
+// nextEpoch advances the scratch-mark epoch, clearing the arrays on the
+// (effectively unreachable) wraparound.
+func (ix *netIndex) nextEpoch() uint32 {
+	if ix.epoch == math.MaxUint32 {
+		clear(ix.seen)
+		clear(ix.down)
+		ix.epoch = 0
+	}
+	ix.epoch++
+	return ix.epoch
 }
 
 // NewNetwork returns an empty network.
@@ -34,7 +102,14 @@ func (n *Network) AddDevice(d Device) error {
 	dd := d
 	n.devices[d.Name] = &dd
 	n.order = append(n.order, d.Name)
+	n.invalidateIndex()
 	return nil
+}
+
+func (n *Network) invalidateIndex() {
+	n.mu.Lock()
+	n.idx = nil
+	n.mu.Unlock()
 }
 
 // AddLink connects devices a and b. Both must exist; self-links and
@@ -56,6 +131,7 @@ func (n *Network) AddLink(a, b string) error {
 	}
 	n.adj[a] = append(n.adj[a], b)
 	n.adj[b] = append(n.adj[b], a)
+	n.invalidateIndex()
 	return nil
 }
 
@@ -236,26 +312,48 @@ func (n *Network) shortestPath(src, dst string, down map[string]bool) []string {
 // StrandedRacks returns the RSWs that can no longer reach any Core device
 // when the devices in down fail. A stranded rack has lost all north-south
 // connectivity — the paper's "partitioned connectivity" service impact.
+//
+// The graph is undirected, so "rack reaches some core" is "some core
+// reaches the rack": one multi-source BFS seeded from every live Core
+// answers all racks at once, instead of one BFS per rack. On the
+// representative topology that turns the dominant per-incident cost into
+// a single linear pass, and the epoch-stamped scratch index makes it
+// allocation-free. Safe for concurrent use.
 func (n *Network) StrandedRacks(down map[string]bool) []string {
-	cores := n.DevicesOfType(Core)
-	var stranded []string
-	for _, rsw := range n.DevicesOfType(RSW) {
-		if down[rsw.Name] {
-			stranded = append(stranded, rsw.Name)
+	n.mu.Lock()
+	ix := n.ensureIndex()
+	epoch := ix.nextEpoch()
+	for name, isDown := range down {
+		if !isDown {
 			continue
 		}
-		ok := false
-		reach := n.ReachableSet(rsw.Name, down)
-		for _, c := range cores {
-			if reach[c.Name] {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			stranded = append(stranded, rsw.Name)
+		if i, ok := ix.id[name]; ok {
+			ix.down[i] = epoch
 		}
 	}
+	queue := ix.queue[:0]
+	for _, c := range ix.cores {
+		if ix.down[c] != epoch {
+			ix.seen[c] = epoch
+			queue = append(queue, c)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		for _, nb := range ix.adj[queue[qi]] {
+			if ix.seen[nb] != epoch && ix.down[nb] != epoch {
+				ix.seen[nb] = epoch
+				queue = append(queue, nb)
+			}
+		}
+	}
+	ix.queue = queue
+	var stranded []string
+	for _, r := range ix.rsws {
+		if ix.seen[r] != epoch {
+			stranded = append(stranded, n.order[r])
+		}
+	}
+	n.mu.Unlock()
 	sort.Strings(stranded)
 	return stranded
 }

@@ -1,8 +1,11 @@
 package topology
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
+
+	"dcnr/internal/simrand"
 )
 
 func TestDeviceTypeString(t *testing.T) {
@@ -376,6 +379,96 @@ func TestDevicesInsertionOrderDeterministic(t *testing.T) {
 		if d1[i].Name != d2[i].Name {
 			t.Fatalf("device order differs at %d: %s vs %s", i, d1[i].Name, d2[i].Name)
 		}
+	}
+}
+
+// strandedRacksReference is the original one-BFS-per-rack implementation,
+// kept as the oracle for the multi-source rewrite.
+func strandedRacksReference(n *Network, down map[string]bool) []string {
+	cores := n.DevicesOfType(Core)
+	var stranded []string
+	for _, rsw := range n.DevicesOfType(RSW) {
+		if down[rsw.Name] {
+			stranded = append(stranded, rsw.Name)
+			continue
+		}
+		ok := false
+		reach := n.ReachableSet(rsw.Name, down)
+		for _, c := range cores {
+			if reach[c.Name] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			stranded = append(stranded, rsw.Name)
+		}
+	}
+	sort.Strings(stranded)
+	return stranded
+}
+
+func TestStrandedRacksMatchesPerRackReference(t *testing.T) {
+	// Random failure sets on a mixed cluster+fabric topology: the
+	// multi-source BFS must agree exactly with a per-rack BFS.
+	n := NewNetwork()
+	c1, err := BuildCluster(n, ClusterSpec{DC: "dc1", Region: "ra", Clusters: 2, RacksPerCluster: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := BuildFabric(n, FabricSpec{DC: "dc2", Region: "ra", Pods: 2, RacksPerPod: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InterconnectCores(n, c1, c2); err != nil {
+		t.Fatal(err)
+	}
+	devs := n.Devices()
+	r := simrand.New(7)
+	for trial := 0; trial < 200; trial++ {
+		down := map[string]bool{}
+		for k := r.Intn(6); k > 0; k-- {
+			down[devs[r.Intn(len(devs))].Name] = true
+		}
+		got := n.StrandedRacks(down)
+		want := strandedRacksReference(n, down)
+		if len(got) != len(want) {
+			t.Fatalf("down=%v: got %d stranded, reference %d", down, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("down=%v: stranded[%d] = %q, reference %q", down, i, got[i], want[i])
+			}
+		}
+	}
+	// All cores down strands every rack.
+	allCores := map[string]bool{}
+	for _, c := range n.DevicesOfType(Core) {
+		allCores[c.Name] = true
+	}
+	if got := n.StrandedRacks(allCores); len(got) != len(n.DevicesOfType(RSW)) {
+		t.Errorf("all cores down: stranded = %d, want every rack", len(got))
+	}
+}
+
+func TestStrandedRacksIndexInvalidatedByMutation(t *testing.T) {
+	// The integer index is rebuilt after AddDevice/AddLink, not served
+	// stale: a rack linked in after the first query must show up connected.
+	n := NewNetwork()
+	mustAdd(t, n, Device{Name: "core001", Type: Core})
+	mustAdd(t, n, Device{Name: "rsw001.p001.f01.dc1", Type: RSW})
+	if got := n.StrandedRacks(nil); len(got) != 1 {
+		t.Fatalf("unlinked rack not stranded: %v", got)
+	}
+	mustAdd(t, n, Device{Name: "fsw001.p001.dc1", Type: FSW})
+	if err := n.AddLink("rsw001.p001.f01.dc1", "fsw001.p001.dc1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddLink("fsw001.p001.dc1", "core001"); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.StrandedRacks(nil); len(got) != 0 {
+		t.Errorf("stale index: rack still stranded after linking: %v", got)
 	}
 }
 

@@ -1,0 +1,82 @@
+#!/bin/sh
+# Measure the DES kernel hot path and record it in BENCH_des.json at the
+# repo root:
+#
+#   - BenchmarkScheduleAndRun: schedule 10k events into a recycled
+#     simulator and drain them, uninstrumented (ns/op + allocs/op);
+#   - BenchmarkObsScheduleAndRunInstrumented: the same loop with a metrics
+#     registry attached — the number the pooled-kernel refactor gates on,
+#     compared against the pre-refactor recorded baseline of 7821045 ns/op;
+#   - the steady-state allocation gate: both loops must run at
+#     0 allocs/op, or event pooling has regressed.
+#
+# The script fails if the instrumented loop is less than 5x faster than
+# the recorded baseline or if either loop allocates.
+#
+# Usage: scripts/bench_des.sh [benchtime|smoke]
+#   benchtime  go test -benchtime value (default 300ms)
+#   smoke      quick CI mode: short run, allocation gate only, no JSON
+set -eu
+
+cd "$(dirname "$0")/.."
+MODE="${1:-300ms}"
+OUT="BENCH_des.json"
+BASELINE_NS=7821045
+
+BENCHTIME="$MODE"
+if [ "$MODE" = "smoke" ]; then
+	BENCHTIME="20x"
+fi
+
+RES=$(go test -run '^$' \
+	-bench 'BenchmarkScheduleAndRun$|BenchmarkObsScheduleAndRunInstrumented$' \
+	-benchtime "$BENCHTIME" ./internal/des/)
+
+# The -N GOMAXPROCS suffix on benchmark names is absent when GOMAXPROCS=1.
+ns_of() { printf '%s\n' "$RES" | awk -v b="$1" '$1 ~ "^"b"(-[0-9]+)?$" { print $3; exit }'; }
+allocs_of() { printf '%s\n' "$RES" | awk -v b="$1" '$1 ~ "^"b"(-[0-9]+)?$" { for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") { print $i; exit } }'; }
+
+PLAIN_NS=$(ns_of BenchmarkScheduleAndRun)
+PLAIN_ALLOCS=$(allocs_of BenchmarkScheduleAndRun)
+INST_NS=$(ns_of BenchmarkObsScheduleAndRunInstrumented)
+INST_ALLOCS=$(allocs_of BenchmarkObsScheduleAndRunInstrumented)
+
+[ -n "$PLAIN_NS" ] && [ -n "$INST_NS" ] ||
+	{ echo "FAIL: could not parse benchmark output:"; printf '%s\n' "$RES"; exit 1; } >&2
+
+# Steady-state allocation gate: the pooled kernel recycles nodes through
+# the free list, so after the first iteration warms the slabs neither loop
+# may allocate. This is machine-independent, so it runs in smoke mode too.
+for gate in "plain:$PLAIN_ALLOCS" "instrumented:$INST_ALLOCS"; do
+	case "$gate" in
+	*:0) ;;
+	*) echo "FAIL: ${gate%%:*} schedule-and-run allocates ${gate#*:} allocs/op, want 0 (event pooling regressed)" >&2
+		exit 1 ;;
+	esac
+done
+
+if [ "$MODE" = "smoke" ]; then
+	echo "bench-des smoke: 0 allocs/op on both loops (plain ${PLAIN_NS} ns/op, instrumented ${INST_NS} ns/op)"
+	exit 0
+fi
+
+REDUCTION=$(awk -v base="$BASELINE_NS" -v inst="$INST_NS" 'BEGIN { printf "%.2f", base / inst }')
+
+{
+	printf '{\n'
+	printf '  "goos": "%s",\n' "$(go env GOOS)"
+	printf '  "goarch": "%s",\n' "$(go env GOARCH)"
+	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	printf '  "events_per_iteration": 10000,\n'
+	printf '  "schedule_and_run": { "ns_per_op": %s, "allocs_per_op": %s },\n' "$PLAIN_NS" "$PLAIN_ALLOCS"
+	printf '  "schedule_and_run_instrumented": { "ns_per_op": %s, "allocs_per_op": %s },\n' "$INST_NS" "$INST_ALLOCS"
+	printf '  "recorded_baseline_ns_per_op": %s,\n' "$BASELINE_NS"
+	printf '  "instrumented_reduction_x": %s,\n' "$REDUCTION"
+	printf '  "reduction_target": ">= 5x vs the recorded pre-refactor instrumented baseline"\n'
+	printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT (plain=${PLAIN_NS} ns/op, instrumented=${INST_NS} ns/op, reduction=${REDUCTION}x)"
+
+awk -v r="$REDUCTION" 'BEGIN { exit !(r >= 5) }' ||
+	{ echo "FAIL: instrumented reduction ${REDUCTION}x < 5x vs recorded ${BASELINE_NS} ns/op baseline" >&2; exit 1; }

@@ -7,10 +7,11 @@
 #   - the obs micro-benchmarks (counter/gauge/histogram/span ns/op, both
 #     live and through nil no-ops) plus the instrumented DES kernel bench.
 #
-# The guardrail is the metrics overhead: an instrumented default-scale
-# dcsim run must stay within 5% of the uninstrumented one. Full tracing is
-# recorded separately — it buys a complete event timeline and is expected
-# to cost more.
+# The guardrails are the end-to-end dcsim overheads, enforced as hard
+# failures: metrics-only must stay within 5% of the uninstrumented run,
+# and full tracing — which records every DES event through the ring
+# recorder and pipelines the trace write behind the backbone phase —
+# within 15%.
 #
 # Usage: scripts/bench_obs.sh [reps]
 set -eu
@@ -94,3 +95,11 @@ MICRO=$(go test -run '^$' -bench 'BenchmarkObs' -benchtime 100ms ./internal/obs/
 
 echo "wrote $OUT"
 awk '/dcsim_metrics/ && /,$/ { gsub(/[ ",]/, ""); print "  " $0 }' "$OUT" >&2
+
+METRICS_PCT=$(pct_over "$DCSIM_BASE" "$DCSIM_METRICS")
+TRACED_PCT=$(pct_over "$DCSIM_BASE" "$DCSIM_TRACED")
+awk -v m="$METRICS_PCT" 'BEGIN { exit !(m < 5) }' ||
+	{ echo "FAIL: dcsim metrics overhead ${METRICS_PCT}% >= 5%" >&2; exit 1; }
+awk -v t="$TRACED_PCT" 'BEGIN { exit !(t < 15) }' ||
+	{ echo "FAIL: dcsim traced overhead ${TRACED_PCT}% >= 15%" >&2; exit 1; }
+echo "overhead gates passed (metrics ${METRICS_PCT}% < 5%, traced ${TRACED_PCT}% < 15%)"

@@ -25,6 +25,9 @@ trap 'rm -rf "$BIN" "$WORK"' EXIT
 
 go build -o "$BIN/dcsweep" ./cmd/dcsweep
 CPUS="$(nproc 2>/dev/null || echo 1)"
+# The engine clamps workers to the CPU count (oversubscription only adds
+# scheduler churn), so the "8 workers" variant effectively runs min(8, CPUS).
+EFFECTIVE_8=$([ "$CPUS" -lt 8 ] && echo "$CPUS" || echo 8)
 
 SWEEP_ARGS="-seed-base 1 -runs 16 -scales 1 -scenarios baseline"
 
@@ -64,6 +67,8 @@ SPEEDUP=$(awk -v s="$SERIAL" -v p="$PAR" 'BEGIN { printf "%.2f", s / p }')
 	printf '  "goos": "%s",\n' "$(go env GOOS)"
 	printf '  "goarch": "%s",\n' "$(go env GOARCH)"
 	printf '  "cpus": %s,\n' "$CPUS"
+	printf '  "workers_requested": 8,\n'
+	printf '  "workers_effective": %s,\n' "$EFFECTIVE_8"
 	printf '  "reps": %s,\n' "$REPS"
 	printf '  "grid": "16 seeds x scale 1 x baseline",\n'
 	printf '  "end_to_end_ms": {\n'

@@ -8,7 +8,10 @@
 #   4. apicheck    - exported facade API matches the reviewed api.txt
 #   5. race        - full test suite under the race detector
 #   6. test-obs    - focused race pass over telemetry + instrumented paths
-#   7. test-health - focused race pass over the SLO engine and its wiring;
+#   7. bench-des   - smoke run of the DES kernel benchmarks; gates only on
+#                    the machine-independent invariant (0 allocs/op in
+#                    steady state), not on timings
+#   8. test-health - focused race pass over the SLO engine and its wiring;
 #                    on failure an elevated-run SLO report is dumped to
 #                    health_slo_failure.json for triage
 #
@@ -33,6 +36,7 @@ step lint make lint
 step apicheck make apicheck
 step race make race
 step test-obs make test-obs
+step bench-des ./scripts/bench_des.sh smoke
 
 # The health gate dumps a full /slo-shaped report from an elevated run on
 # failure, so a broken alert pipeline leaves its state behind as an
