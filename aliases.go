@@ -16,6 +16,7 @@ import (
 	"dcnr/internal/notify"
 	"dcnr/internal/obs"
 	"dcnr/internal/obs/health"
+	"dcnr/internal/obs/journal"
 	"dcnr/internal/observe"
 	"dcnr/internal/remediation"
 	"dcnr/internal/sev"
@@ -349,6 +350,71 @@ func DefaultHealthRules() []HealthRule { return health.DefaultRules() }
 // EdgeHealthRules returns the backbone edge-availability rule set
 // (requires HealthTargets.EdgeAvailability to be set).
 func EdgeHealthRules() []HealthRule { return health.EdgeRules() }
+
+// Journal is the causal incident journal: an allocation-conscious wide-
+// event stream recording the full fault lifecycle (fault raised → detected
+// → ticket cut → dispatched → escalated → repaired → incident opened →
+// closed) with stable IDs linking every record to its cause. A nil
+// *Journal is a valid no-op. Pass one through IntraConfig.Observe.Journal
+// and serialize it with WriteJSONL.
+type Journal = journal.Journal
+
+// JournalID identifies one journal record; 0 means none.
+type JournalID = journal.ID
+
+// JournalRecord is one fixed-size, pointer-free journal record.
+type JournalRecord = journal.Record
+
+// JournalIndex is a read-side index over journal records: chain walks
+// (Chain, Complete), incident enumeration, and MTTR phase decomposition
+// (Summary).
+type JournalIndex = journal.Index
+
+// JournalSummary is the journal's aggregate view: record and lifecycle
+// counts plus per-device-type phase decomposition.
+type JournalSummary = journal.Summary
+
+// JournalPhaseStats is one device type's MTTR phase decomposition row.
+type JournalPhaseStats = journal.PhaseStats
+
+// NewJournal returns a journal pre-loaded with the simulation's name
+// tables (device types, fault classes, severities), ready for
+// IntraConfig.Observe.Journal.
+func NewJournal() *Journal { return faults.NewJournal() }
+
+// ReadJournal indexes a JSONL journal stream written by Journal.WriteJSONL
+// or dcsim -journal. Lines without an "id" field (dcsweep's per-run
+// campaign headers) are skipped, but note that dcsweep journal streams
+// restart IDs at each header — index one run's section at a time.
+func ReadJournal(r io.Reader) (*JournalIndex, error) { return journal.ReadJSONL(r) }
+
+// SEVProvenance is the causal-chain summary a journal attaches to one SEV
+// report: the record chain plus per-phase timings.
+type SEVProvenance = sev.Provenance
+
+// AttachJournal walks every closed incident in the index and attaches its
+// provenance to the matching report in the store (a side table — the
+// store's JSON serialization is unchanged). Returns how many reports
+// gained provenance; read it back with SEVStore.Provenance.
+func AttachJournal(store *SEVStore, x *JournalIndex) int { return sev.AttachJournal(store, x) }
+
+// SweepStatus is the live campaign introspection table: a lock-free
+// per-run progress grid updated by the sweep workers. Set one on
+// SweepConfig.Status and serve SweepStatus.Handler (endpoints /campaign,
+// /campaign/events, /journal) to watch a campaign run. A nil *SweepStatus
+// is a valid no-op.
+type SweepStatus = sweep.Status
+
+// SweepCampaignStatus is one point-in-time campaign snapshot: aggregate
+// progress, live cross-run bands, and the per-run grid with z-score
+// straggler flags.
+type SweepCampaignStatus = sweep.CampaignStatus
+
+// SweepRunStatus is one run's row in a campaign snapshot.
+type SweepRunStatus = sweep.RunStatus
+
+// NewSweepStatus returns an empty status table for SweepConfig.Status.
+func NewSweepStatus() *SweepStatus { return sweep.NewStatus() }
 
 // NewSimLogHandler returns a log/slog handler writing structured records
 // (format "text" or "json") that carry both clocks: slog's wall-clock

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	dcsim [-seed N] [-scale N] [-out DIR] [-metrics-out FILE] [-trace FILE]
-//	      [-health-out FILE] [-log-level LEVEL] [-log-format text|json]
+//	      [-journal FILE] [-health-out FILE]
+//	      [-log-level LEVEL] [-log-format text|json]
 //	      [-elevate-year YEAR] [-elevate-factor F]
 //
 // Outputs: DIR/sevs.json (the SEV dataset) and DIR/tickets.txt (the vendor
@@ -14,6 +15,13 @@
 // metrics (event counts, remediation queue histograms, query-path counters)
 // is written to FILE; with -trace, a Chrome trace-event file loadable in
 // chrome://tracing or Perfetto.
+//
+// With -journal, the intra-DC run records its causal incident journal —
+// one JSONL record per fault-lifecycle event (fault_raised, fault_detected,
+// ticket_cut, dispatched, escalated, repaired, incident_opened,
+// incident_closed), each linked to its cause by parent ID — and writes it
+// to FILE; every SEV in sevs.json then resolves to a complete causal chain
+// (load the stream back with dcnr.ReadJournal).
 //
 // With -health-out, a streaming SLO engine follows the intra-DC run —
 // incident burn rates, MTTR degradation, alert rule transitions — and its
@@ -45,6 +53,7 @@ func main() {
 	flag.StringVar(&o.dir, "out", ".", "output directory")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write a JSON metrics snapshot to this file")
 	flag.StringVar(&o.traceOut, "trace", "", "write a Chrome trace-event file to this file")
+	flag.StringVar(&o.journalOut, "journal", "", "write the causal incident journal as JSONL to this file")
 	flag.StringVar(&o.healthOut, "health-out", "", "run the SLO/health engine and write its report to this file")
 	flag.StringVar(&o.logLevel, "log-level", "", "enable structured logs to stderr at this level (debug, info, warn, error)")
 	flag.StringVar(&o.logFormat, "log-format", "text", "structured log format: text or json")
@@ -65,6 +74,7 @@ type options struct {
 	dir           string
 	metricsOut    string
 	traceOut      string
+	journalOut    string
 	healthOut     string
 	logLevel      string
 	logFormat     string
@@ -98,6 +108,10 @@ func run(o options) error {
 			return err
 		}
 	}
+	var jnl *dcnr.Journal
+	if o.journalOut != "" {
+		jnl = dcnr.NewJournal()
+	}
 	var logger *slog.Logger
 	if o.logLevel != "" {
 		level, err := dcnr.ParseLogLevel(o.logLevel)
@@ -116,8 +130,11 @@ func run(o options) error {
 	}
 
 	intra, err := dcnr.SimulateIntraDC(dcnr.IntraConfig{
-		Seed: o.seed, Scale: o.scale, Metrics: reg, Trace: tracer,
-		Health: health, Logger: logger,
+		Observe: dcnr.Observe{
+			Metrics: reg, Trace: tracer, Health: health,
+			Logger: logger, Journal: jnl,
+		},
+		Seed: o.seed, Scale: o.scale,
 		ElevateYear: o.elevateYear, ElevateFactor: o.elevateFactor,
 	})
 	if err != nil {
@@ -157,10 +174,40 @@ func run(o options) error {
 		return err
 	}
 
+	// Like the trace, the journal (a few hundred thousand records) is
+	// indexed and streamed to disk while the backbone phase simulates;
+	// finishJournal joins the writer before the totals are printed. The
+	// index is built inside the goroutine too — assembling the ID-ordered
+	// record array is the expensive half of serialization.
+	var (
+		journalIdx  *dcnr.JournalIndex
+		journalFile *os.File
+		journalDone chan error
+	)
+	if o.journalOut != "" {
+		f, err := os.Create(o.journalOut)
+		if err != nil {
+			return errors.Join(err, finishTrace())
+		}
+		journalFile = f
+		journalDone = make(chan error, 1)
+		go func() {
+			journalIdx = jnl.Index()
+			journalDone <- journalIdx.WriteJSONL(f)
+		}()
+	}
+	finishJournal := func() error {
+		if journalFile == nil {
+			return nil
+		}
+		err := errors.Join(<-journalDone, journalFile.Close())
+		journalFile = nil
+		return err
+	}
+
 	sevPath := filepath.Join(o.dir, "sevs.json")
 	if err := writeFile(sevPath, intra.Store.WriteJSON); err != nil {
-		err2 := finishTrace()
-		return errors.Join(err, err2)
+		return errors.Join(err, finishJournal(), finishTrace())
 	}
 	fmt.Printf("intra-DC: %d faults → %d SEVs (%d years) → %s\n",
 		intra.Faults, intra.Incidents, dcnr.LastYear-dcnr.FirstYear+1, sevPath)
@@ -171,18 +218,26 @@ func run(o options) error {
 	cfg.Trace = bbTracer
 	inter, err := dcnr.SimulateBackbone(cfg)
 	if err != nil {
-		err2 := finishTrace()
-		return errors.Join(err, err2)
+		return errors.Join(err, finishJournal(), finishTrace())
 	}
 	ticketPath := filepath.Join(o.dir, "tickets.txt")
 	if err := writeFile(ticketPath, func(w io.Writer) error {
 		return tickets.WriteAll(w, inter.Notices)
 	}); err != nil {
-		return err
+		return errors.Join(err, finishJournal(), finishTrace())
 	}
 	fmt.Printf("backbone: %d edges, %d links, %d vendors, %d repair tickets → %s\n",
 		len(inter.Topology.Edges), len(inter.Topology.Links), len(inter.Topology.Vendors),
 		len(inter.Notices), ticketPath)
+
+	if o.journalOut != "" {
+		if err := finishJournal(); err != nil {
+			return errors.Join(err, finishTrace())
+		}
+		chains := dcnr.AttachJournal(intra.Store, journalIdx)
+		fmt.Printf("journal: %d records, %d incident chains → %s\n",
+			journalIdx.Len(), chains, o.journalOut)
+	}
 
 	if o.healthOut != "" {
 		if err := writeFile(o.healthOut, health.WriteJSON); err != nil {

@@ -117,6 +117,67 @@ func TestRunWritesMetricsAndTrace(t *testing.T) {
 	}
 }
 
+// TestRunWritesJournal is the end-to-end causal-chain acceptance check: a
+// fixed-seed -journal run must leave a JSONL stream in which every closed
+// incident resolves, parent ID by parent ID, to a complete chain rooted at
+// a fault_raised record, with phase decomposition to match.
+func TestRunWritesJournal(t *testing.T) {
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "journal.jsonl")
+	if err := run(options{seed: 3, scale: 1, dir: dir, journalOut: journalPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x, err := dcnr.ReadJournal(f)
+	if err != nil {
+		t.Fatalf("journal stream does not load back: %v", err)
+	}
+	if x.Len() == 0 {
+		t.Fatal("journal stream is empty")
+	}
+	incidents := x.Incidents()
+	if len(incidents) == 0 {
+		t.Fatal("journal recorded no closed incidents")
+	}
+	for _, closed := range incidents {
+		if !x.Complete(closed.ID) {
+			t.Fatalf("incident %d does not chain back to a fault_raised record: %+v",
+				closed.ID, x.Chain(closed.ID))
+		}
+	}
+
+	// The journal agrees with the dataset: one chain per SEV report, and
+	// the summary's phase decomposition is populated.
+	sf, err := os.Open(filepath.Join(dir, "sevs.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	store := dcnr.NewSEVStore()
+	if err := store.ReadJSON(sf); err != nil {
+		t.Fatal(err)
+	}
+	if len(incidents) != store.Len() {
+		t.Errorf("journal has %d incident chains, dataset has %d SEVs", len(incidents), store.Len())
+	}
+	sum := x.Summary()
+	if sum.Incomplete != 0 || sum.CompleteChains != len(incidents) {
+		t.Errorf("summary reports %d complete / %d incomplete chains over %d incidents",
+			sum.CompleteChains, sum.Incomplete, len(incidents))
+	}
+	if len(sum.Phases) == 0 {
+		t.Error("summary has no per-device-type phase decomposition")
+	}
+	if n := dcnr.AttachJournal(store, x); n != store.Len() {
+		t.Errorf("journal provenance attached to %d of %d reports", n, store.Len())
+	}
+}
+
 // TestRunHealthOutAndStructuredLogs is the end-to-end alert drill: an
 // elevated-fault-rate run must leave a firing transition in the -health-out
 // report, and the structured logs must be JSON records carrying both

@@ -7,7 +7,8 @@
 //
 //	dcsweep [-seeds CSV | -seed-base N -runs N] [-scales CSV]
 //	        [-scenarios SPEC] [-workers N] [-backbone]
-//	        [-out FILE] [-runs-out FILE] [-metrics-out FILE] [-trace FILE]
+//	        [-out FILE] [-runs-out FILE] [-journal FILE] [-metrics-out FILE]
+//	        [-trace FILE] [-status-addr ADDR]
 //	        [-log-level LEVEL] [-log-format text|json]
 //
 // The grid is the cross product of seeds, scales, and scenarios. Seeds
@@ -27,6 +28,20 @@
 // merged metrics snapshot of all runs; with -trace, a Chrome trace-event
 // file with one lane per pool worker. With -log-level, one progress record
 // per completed run goes to stderr.
+//
+// With -journal, every run's causal incident journal is streamed to FILE
+// in run order: a header line naming the run, then one JSONL record per
+// fault-lifecycle event (record IDs restart at each header; index one
+// run's section at a time with dcnr.ReadJournal). The stream is
+// byte-identical at any -workers value.
+//
+// -status-addr serves live campaign introspection over HTTP while the
+// sweep runs: /campaign (a JSON snapshot — per-run state, completed/total,
+// z-score straggler flags, live cross-run p5/p95 bands), /campaign/events
+// (server-sent events, one per completed run), and /journal (the merged
+// causal-journal summary of completed runs). A failed bind is logged and
+// the campaign proceeds without introspection; the report is byte-identical
+// either way.
 package main
 
 import (
@@ -35,6 +50,8 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -53,6 +70,8 @@ func main() {
 	flag.BoolVar(&o.backbone, "backbone", false, "add an inter-DC backbone leg to every run")
 	flag.StringVar(&o.out, "out", "sweep_report.json", "write the aggregated report to this file")
 	flag.StringVar(&o.runsOut, "runs-out", "", "stream per-run JSONL records to this file")
+	flag.StringVar(&o.journalOut, "journal", "", "stream every run's causal incident journal to this file")
+	flag.StringVar(&o.statusAddr, "status-addr", "", "serve live campaign status on this address (e.g. :8080) while the sweep runs")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the merged metrics snapshot of all runs to this file")
 	flag.StringVar(&o.traceOut, "trace", "", "write a Chrome trace-event file to this file")
 	flag.StringVar(&o.logLevel, "log-level", "", "enable per-run progress logs to stderr at this level (debug, info, warn, error)")
@@ -76,6 +95,8 @@ type options struct {
 	backbone   bool
 	out        string
 	runsOut    string
+	journalOut string
+	statusAddr string
 	metricsOut string
 	traceOut   string
 	logLevel   string
@@ -142,9 +163,43 @@ func run(o options) error {
 		}
 		cfg.Results = runsFile
 	}
+	var journalFile *os.File
+	if o.journalOut != "" {
+		journalFile, err = os.Create(o.journalOut)
+		if err != nil {
+			return err
+		}
+		cfg.Journal = journalFile
+	}
+	stdout := o.stdout
+	if stdout == nil {
+		stdout = os.Stdout
+	}
+	if o.statusAddr != "" {
+		status := dcnr.NewSweepStatus()
+		cfg.Status = status
+		logger := opsLogger(o, cfg.Observe.Logger)
+		if srv, addr, serveErr := serveStatus(o.statusAddr, status, logger); serveErr != nil {
+			// A dead status endpoint is an observability gap, not a reason
+			// to abandon the campaign — report it and sweep anyway.
+			logger.Warn("campaign status server failed to bind; sweeping without introspection",
+				"addr", o.statusAddr, "err", serveErr)
+		} else {
+			defer srv.Close()
+			if _, err := fmt.Fprintf(stdout,
+				"status: http://%s (/campaign, /campaign/events, /journal)\n", addr); err != nil {
+				return err
+			}
+		}
+	}
 	res, sweepErr := dcnr.Sweep(cfg)
 	if runsFile != nil {
 		if err := runsFile.Close(); err != nil && sweepErr == nil {
+			sweepErr = err
+		}
+	}
+	if journalFile != nil {
+		if err := journalFile.Close(); err != nil && sweepErr == nil {
 			sweepErr = err
 		}
 	}
@@ -154,10 +209,6 @@ func run(o options) error {
 
 	if err := writeFile(o.out, res.WriteReport); err != nil {
 		return err
-	}
-	stdout := o.stdout
-	if stdout == nil {
-		stdout = os.Stdout
 	}
 	if _, err := fmt.Fprintf(stdout, "sweep: %d runs (%d seeds × %d scales × %d scenarios) → %s\n",
 		len(res.Runs), len(cfg.Seeds), len(cfg.Scales), len(cfg.Scenarios), o.out); err != nil {
@@ -186,7 +237,54 @@ func run(o options) error {
 			return err
 		}
 	}
+	if o.journalOut != "" {
+		if _, err := fmt.Fprintf(stdout, "journal: %s\n", o.journalOut); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// serveStatus binds the campaign status endpoints on addr and serves them
+// until the returned server is closed. It returns the bound address so
+// ":0" works in tests.
+func serveStatus(addr string, status *dcnr.SweepStatus, logger *slog.Logger) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: status.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Warn("campaign status server stopped", "err", err)
+		}
+	}()
+	return srv, ln.Addr().String(), nil
+}
+
+// opsLogger returns the campaign logger, falling back — when -log-level is
+// absent — to a warn-level SimHandler logger on stderr, so operational
+// problems (a status server that cannot bind or dies mid-campaign) are
+// reported even on otherwise-silent runs.
+func opsLogger(o options, configured *slog.Logger) *slog.Logger {
+	if configured != nil {
+		return configured
+	}
+	w := o.logW
+	if w == nil {
+		w = os.Stderr
+	}
+	format := o.logFormat
+	if format == "" {
+		format = "text"
+	}
+	h, err := dcnr.NewSimLogHandler(w, format, slog.LevelWarn, nil)
+	if err != nil {
+		// Unreachable for the fixed text/json formats; fall back to slog's
+		// default handler rather than dropping the report.
+		return slog.New(slog.NewTextHandler(w, nil))
+	}
+	return slog.New(h)
 }
 
 // parseSeeds resolves the seed list: an explicit CSV wins; otherwise runs

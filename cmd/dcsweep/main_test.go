@@ -3,11 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"dcnr"
 )
@@ -106,6 +109,147 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "sweep: 2 runs") {
 		t.Errorf("summary output missing run count: %q", stdout.String())
+	}
+}
+
+// syncBuffer is a mutex-guarded buffer so the test can read run's stdout
+// while run is still writing to it from another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunStatusAndJournal is the live-introspection end-to-end check: with
+// -status-addr the campaign serves /campaign and /journal while it runs,
+// and with -journal the per-run causal journals land on disk in run order.
+func TestRunStatusAndJournal(t *testing.T) {
+	dir := t.TempDir()
+	var stdout syncBuffer
+	o := options{
+		seedBase:   1,
+		runs:       2,
+		scales:     "1",
+		scenarios:  "baseline",
+		workers:    1,
+		out:        filepath.Join(dir, "sweep_report.json"),
+		journalOut: filepath.Join(dir, "journal.jsonl"),
+		statusAddr: "127.0.0.1:0",
+		stdout:     &stdout,
+	}
+	done := make(chan error, 1)
+	go func() { done <- run(o) }()
+
+	// The bound address is printed before the sweep starts; poll for it.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("status address never printed; stdout: %q", stdout.String())
+		}
+		if _, rest, ok := strings.Cut(stdout.String(), "status: http://"); ok {
+			addr = strings.Fields(rest)[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Query the campaign while it runs: the grid is visible immediately,
+	// completion counts trail the workers.
+	resp, err := http.Get("http://" + addr + "/campaign")
+	if err != nil {
+		t.Fatalf("GET /campaign: %v", err)
+	}
+	var cs dcnr.SweepCampaignStatus
+	err = json.NewDecoder(resp.Body).Decode(&cs)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/campaign is not valid JSON: %v", err)
+	}
+	if cs.Total != 2 || len(cs.Runs) != 2 {
+		t.Errorf("/campaign reports %d runs (%d rows), want 2", cs.Total, len(cs.Runs))
+	}
+	resp, err = http.Get("http://" + addr + "/journal")
+	if err != nil {
+		t.Fatalf("GET /journal: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("GET /journal: status %d", resp.StatusCode)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// The journal stream carries one header per run, in run order, each
+	// followed by that run's records.
+	data, err := os.ReadFile(o.journalOut)
+	if err != nil {
+		t.Fatalf("reading journal: %v", err)
+	}
+	headers, records := 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec struct {
+			Run  *int   `json:"run"`
+			ID   int    `json:"id"`
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line is not JSON: %v\n%s", err, line)
+		}
+		if rec.ID == 0 {
+			if rec.Run == nil || *rec.Run != headers {
+				t.Fatalf("journal header out of order: %s", line)
+			}
+			headers++
+			continue
+		}
+		records++
+	}
+	if headers != 2 {
+		t.Errorf("journal has %d run headers, want 2", headers)
+	}
+	if records == 0 {
+		t.Error("journal has no records")
+	}
+}
+
+// TestRunStatusBindFailureLogs pins the degraded path: an unbindable
+// -status-addr is reported through the ops logger (stderr by default) and
+// the campaign still completes.
+func TestRunStatusBindFailureLogs(t *testing.T) {
+	dir := t.TempDir()
+	var logBuf bytes.Buffer
+	o := options{
+		seedBase:   1,
+		runs:       1,
+		scales:     "1",
+		scenarios:  "baseline",
+		out:        filepath.Join(dir, "sweep_report.json"),
+		statusAddr: "256.256.256.256:0",
+		logW:       &logBuf,
+		stdout:     &bytes.Buffer{},
+	}
+	if err := run(o); err != nil {
+		t.Fatalf("bind failure aborted the campaign: %v", err)
+	}
+	if _, err := os.Stat(o.out); err != nil {
+		t.Errorf("campaign report missing after bind failure: %v", err)
+	}
+	if !strings.Contains(logBuf.String(), "failed to bind") {
+		t.Errorf("bind failure not logged: %q", logBuf.String())
 	}
 }
 

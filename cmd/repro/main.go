@@ -23,7 +23,10 @@
 // the run: /debug/vars (expvar, including the simulation's metrics under
 // "dcnr"), /metrics (Prometheus text format), /healthz (200 while no SLO
 // alert rule is firing, 503 otherwise), /slo (the streaming health engine's
-// full JSON report), and /debug/pprof/ (the standard profiling endpoints).
+// full JSON report), /journal (the causal incident journal's summary —
+// lifecycle counts and per-device-type MTTR phase decomposition, live as
+// the intra-DC dataset builds), and /debug/pprof/ (the standard profiling
+// endpoints).
 // -trace records a Chrome trace-event file
 // covering the simulation's hot paths and every analysis task, loadable in
 // chrome://tracing or Perfetto.
@@ -31,6 +34,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
@@ -97,13 +101,14 @@ func main() {
 			os.Exit(1)
 		}
 		d.health = eng
-		srv, addr, err := startMetricsServer(*metricsAddr, d.metrics, d.health)
+		d.journal = dcnr.NewJournal()
+		srv, addr, err := startMetricsServer(*metricsAddr, d.metrics, d.health, d.journal)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "repro:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "repro: introspection on http://%s (/debug/vars, /metrics, /healthz, /slo, /debug/pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "repro: introspection on http://%s (/debug/vars, /metrics, /healthz, /slo, /journal, /debug/pprof/)\n", addr)
 	}
 	if *traceOut != "" {
 		d.trace = dcnr.NewTracer()
@@ -145,10 +150,11 @@ var (
 // returned server is closed: /debug/vars (expvar with the simulation's
 // metrics published under "dcnr"), /metrics (Prometheus text exposition),
 // /healthz and /slo (the SLO engine's liveness verdict and full JSON
-// report; eng may be nil, which reads as permanently healthy), and
-// /debug/pprof/ (the net/http/pprof endpoints). It returns the bound
-// address so callers can pass ":0" and discover the port.
-func startMetricsServer(addr string, reg *dcnr.MetricsRegistry, eng *dcnr.HealthEngine) (*http.Server, string, error) {
+// report; eng may be nil, which reads as permanently healthy), /journal
+// (the causal journal's summary; jnl may be nil, which reads as an empty
+// journal), and /debug/pprof/ (the net/http/pprof endpoints). It returns
+// the bound address so callers can pass ":0" and discover the port.
+func startMetricsServer(addr string, reg *dcnr.MetricsRegistry, eng *dcnr.HealthEngine, jnl *dcnr.Journal) (*http.Server, string, error) {
 	publishedRegistry.Store(reg)
 	publishOnce.Do(func() {
 		expvar.Publish("dcnr", expvar.Func(func() any {
@@ -191,6 +197,19 @@ func startMetricsServer(addr string, reg *dcnr.MetricsRegistry, eng *dcnr.Health
 		// Same contract as /metrics: a failed write is the scraper's
 		// hang-up, not ours.
 		_ = eng.WriteJSON(w)
+	})
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, _ *http.Request) {
+		// Summaries read only the journal's flushed prefix, so this is
+		// safe to serve while the simulation is still recording.
+		data, err := json.Marshal(jnl.Index().Summary())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		// Same contract as /metrics: a failed write is the scraper's
+		// hang-up, not ours.
+		_, _ = w.Write(append(data, '\n'))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -274,6 +293,7 @@ type datasets struct {
 	metrics *dcnr.MetricsRegistry
 	trace   *dcnr.Tracer
 	health  *dcnr.HealthEngine
+	journal *dcnr.Journal
 
 	intraOnce sync.Once
 	intra     *dcnr.IntraResult
@@ -287,8 +307,11 @@ type datasets struct {
 func (d *datasets) intraDC() (*dcnr.IntraResult, error) {
 	d.intraOnce.Do(func() {
 		d.intra, d.intraErr = dcnr.SimulateIntraDC(dcnr.IntraConfig{
-			Seed: d.seed, Scale: d.scale, Metrics: d.metrics, Trace: d.trace,
-			Health: d.health,
+			Observe: dcnr.Observe{
+				Metrics: d.metrics, Trace: d.trace,
+				Health: d.health, Journal: d.journal,
+			},
+			Seed: d.seed, Scale: d.scale,
 		})
 	})
 	return d.intra, d.intraErr

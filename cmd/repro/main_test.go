@@ -103,7 +103,7 @@ func TestMetricsServerEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, addr, err := startMetricsServer("127.0.0.1:0", reg, eng)
+	srv, addr, err := startMetricsServer("127.0.0.1:0", reg, eng, dcnr.NewJournal())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,13 +150,22 @@ func TestMetricsServerEndpoints(t *testing.T) {
 	if len(rep.Rules) == 0 {
 		t.Error("/slo report lists no rules")
 	}
+	// /journal serves the causal journal's summary — empty before any
+	// simulation has recorded into it, but well-formed JSON.
+	var jsum dcnr.JournalSummary
+	if err := json.Unmarshal([]byte(get("/journal")), &jsum); err != nil {
+		t.Errorf("/journal is not a JSON journal summary: %v", err)
+	}
+	if jsum.Records != 0 {
+		t.Errorf("/journal reports %d records for an idle journal", jsum.Records)
+	}
 
 	// A second server (tests and reruns) re-points the shared expvar at
 	// the new registry instead of panicking on a duplicate publish. A nil
 	// engine reads as permanently healthy.
 	reg2 := dcnr.NewMetricsRegistry()
 	reg2.Counter("repro_second_total").Inc()
-	srv2, addr2, err := startMetricsServer("127.0.0.1:0", reg2, nil)
+	srv2, addr2, err := startMetricsServer("127.0.0.1:0", reg2, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

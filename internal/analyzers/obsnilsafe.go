@@ -10,21 +10,25 @@ import (
 // no-op metrics), are held by pointer, and are only touched through their
 // nil-safe methods. The health engine rides the same contract: a nil
 // *health.Engine is the uninstrumented no-op, and health.New is the only
-// constructor that validates rules and wires state. Violations this
-// catches:
+// constructor that validates rules and wires state. The causal journal
+// follows suit: a nil *journal.Journal (and the nil *journal.Lane it hands
+// out) drops records for free, and journal.New is the only way to get a
+// journal whose lanes share one ID counter. Violations this catches:
 //
-//   - constructing obs.Counter/Gauge/Histogram/Registry/Tracer or
-//     health.Engine with a composite literal or new(): a hand-rolled
-//     metric is invisible to every exposition path (Snapshot, expvar,
-//     Prometheus), a zero-value Registry panics on first use, and a
-//     zero-value Engine skips rule validation.
+//   - constructing obs.Counter/Gauge/Histogram/Registry/Tracer,
+//     health.Engine, or journal.Journal/Lane with a composite literal or
+//     new(): a hand-rolled metric is invisible to every exposition path
+//     (Snapshot, expvar, Prometheus), a zero-value Registry panics on
+//     first use, a zero-value Engine skips rule validation, and a
+//     hand-rolled Journal mints colliding causal IDs.
 //   - declaring a field, variable, or parameter of value (non-pointer)
 //     guarded type: copying the embedded atomics/mutexes forks the state,
 //     and a value can never be the nil no-op that uninstrumented runs rely
 //     on.
 //
-// obs.Event, the snapshot types, and health's plain-data types (Targets,
-// Rule, SLOReport) stay unrestricted.
+// obs.Event, the snapshot types, health's plain-data types (Targets,
+// Rule, SLOReport), and journal's plain-data types (Record, Index,
+// Summary) stay unrestricted.
 var ObsNilSafe = &Analyzer{
 	Name: "obsnilsafe",
 	Doc:  "obs metrics and health engines must come from their constructors and be held by pointer",
@@ -32,19 +36,21 @@ var ObsNilSafe = &Analyzer{
 }
 
 const (
-	obsPath    = "dcnr/internal/obs"
-	healthPath = "dcnr/internal/obs/health"
+	obsPath     = "dcnr/internal/obs"
+	healthPath  = "dcnr/internal/obs/health"
+	journalPath = "dcnr/internal/obs/journal"
 )
 
 // obsGuardedTypes are the types with construction and copy rules, per
 // package. Constructors: Registry methods for metrics, NewRegistry,
-// NewTracer, health.New.
+// NewTracer, health.New, journal.New (lanes only via Journal.Lane).
 var obsGuardedTypes = map[string]map[string]bool{
 	obsPath: {
 		"Counter": true, "Gauge": true, "Histogram": true,
 		"Registry": true, "Tracer": true,
 	},
-	healthPath: {"Engine": true},
+	healthPath:  {"Engine": true},
+	journalPath: {"Journal": true, "Lane": true},
 }
 
 // isObsGuarded reports whether t is a guarded type, returning its
@@ -112,6 +118,10 @@ func obsConstructor(name string) string {
 		return "obs.NewTracer"
 	case "health.Engine":
 		return "health.New"
+	case "journal.Journal":
+		return "journal.New"
+	case "journal.Lane":
+		return "Journal.Lane"
 	}
 	return "Registry." + name[len("obs."):]
 }

@@ -1,0 +1,20 @@
+// Hand-rolled journals: only journal.New hands out a journal whose lanes
+// share one causal ID counter, and only a pointer can be the nil no-op.
+package bad
+
+import "dcnr/internal/obs/journal"
+
+// Recorder holds a journal by value: copying forks the ID counter and the
+// lane list, minting colliding causal IDs.
+type Recorder struct {
+	journal journal.Journal
+}
+
+// HiddenJournal builds journals that bypass the constructor.
+func HiddenJournal() *journal.Journal {
+	_ = journal.Journal{}
+	return new(journal.Journal)
+}
+
+// CopiedLane takes a lane by value, forking its staging buffer.
+func CopiedLane(l journal.Lane) {}

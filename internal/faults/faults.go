@@ -18,6 +18,7 @@ import (
 	"dcnr/internal/fleet"
 	"dcnr/internal/obs"
 	"dcnr/internal/obs/health"
+	"dcnr/internal/obs/journal"
 	"dcnr/internal/observe"
 	"dcnr/internal/remediation"
 	"dcnr/internal/service"
@@ -106,6 +107,11 @@ type Driver struct {
 	repTopo *topology.Network
 	health  *health.Engine
 	logger  *slog.Logger
+	// jlane is the driver's causal-journal lane (fault raised/detected and
+	// incident opened/closed records); the remediation engine journals the
+	// ticket→repair middle of each chain on its own lane. Nil is a no-op.
+	jlane   *journal.Lane
+	jhooked bool
 	// classShares caches remediation.ClassShares() — the weights are
 	// constants, and fetching a fresh slice per fault was a measurable
 	// share of the schedule loop's allocations.
@@ -157,6 +163,53 @@ func (d *Driver) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 // tick across the run. Call before Run; nil detaches.
 func (d *Driver) SetHealth(e *health.Engine) { d.health = e }
 
+// NewJournal returns a causal journal pre-configured with the intra-DC
+// name tables (device types, fault classes, severities), ready to pass
+// through observe.Observe.Journal or SetJournal.
+func NewJournal() *journal.Journal {
+	j := journal.New()
+	dev := make([]string, int(topology.BBR)+1)
+	for _, t := range topology.DeviceTypes {
+		dev[t] = t.String()
+	}
+	class := make([]string, len(remediation.FaultClasses))
+	for i, c := range remediation.FaultClasses {
+		class[i] = c.String()
+	}
+	sevs := make([]string, int(sev.Sev3)+1)
+	for _, s := range sev.Severities {
+		sevs[s] = s.String()
+	}
+	j.SetNames(dev, class, sevs)
+	return j
+}
+
+// SetJournal attaches a causal journal: the driver records each fault's
+// raised/detected entries and any incident's opened/closed entries, the
+// remediation engine the ticket→dispatch/escalate→repair middle, all
+// linked by parent IDs into one chain per fault. The journal's staged
+// lanes are published at every simulator sync point and at the end of
+// Run. Recording draws no randomness, so an attached journal never
+// changes the generated dataset. Call before Run; nil detaches.
+func (d *Driver) SetJournal(j *journal.Journal) {
+	if j == nil {
+		d.jlane = nil
+		d.Engine.SetJournal(nil)
+		return
+	}
+	d.jlane = j.Lane("faults")
+	d.Engine.SetJournal(j)
+	if !d.jhooked {
+		// One hook per driver even if the journal is swapped: the closure
+		// reads the current lane fields.
+		d.jhooked = true
+		d.sim.AddSyncHook(func() {
+			d.jlane.Flush()
+			d.Engine.FlushTrace()
+		})
+	}
+}
+
 // Observe wires a whole observability bundle in one call: Instrument with
 // the registry and tracer, SetHealth (plus health-engine instrumentation)
 // when a health engine is present, and SetLogger when a logger is present.
@@ -174,6 +227,9 @@ func (d *Driver) Observe(o observe.Observe) {
 		if o.Health != nil {
 			o.Health.SetLogger(o.Logger)
 		}
+	}
+	if o.Journal != nil {
+		d.SetJournal(o.Journal)
 	}
 }
 
@@ -230,8 +286,10 @@ func (d *Driver) Run(from, to int) (*sev.Store, error) {
 		d.health.Evaluate(des.YearStart(to+1, fleet.FirstYear))
 	}
 	// Publish any repair spans still staged in the engine's ring buffers so
-	// a trace written after Run sees the full repair history.
+	// a trace written after Run sees the full repair history, and any
+	// journal records still staged in the driver's lane.
 	d.Engine.FlushTrace()
+	d.jlane.Flush()
 	return d.Store, nil
 }
 
@@ -286,6 +344,17 @@ func (d *Driver) scheduleFaults(year int, dt topology.DeviceType, n int) {
 
 func (d *Driver) handleFault(f Fault) {
 	d.health.RecordFault(f.Start, f.Type.String())
+	// The fault's journal root: raised and detected coincide in this model
+	// (monitoring detects instantaneously), and journaling both makes that
+	// a recorded fact instead of an assumption baked into readers.
+	raised := d.jlane.Record(journal.Record{
+		Kind: journal.FaultRaised, Time: f.Start,
+		Dev: uint8(f.Type), Class: int8(f.Class), Sev: -1,
+	})
+	detected := d.jlane.Record(journal.Record{
+		Kind: journal.FaultDetected, Parent: raised, Time: f.Start,
+		Dev: uint8(f.Type), Class: int8(f.Class), Sev: -1,
+	})
 	if d.logger != nil {
 		f.ensureDevice()
 		d.logger.Debug("fault detected",
@@ -300,21 +369,34 @@ func (d *Driver) handleFault(f Fault) {
 	if f.Year < fleet.AutomatedRepairYear {
 		if !d.manual.Bool(escalationProb(f.Type)) {
 			d.health.RecordRepair(f.Start, f.Type.String())
+			d.jlane.Record(journal.Record{
+				Kind: journal.Repaired, Parent: detected, Time: f.Start,
+				Dev: uint8(f.Type), Class: int8(f.Class), Sev: -1,
+			})
 			return // repaired by a technician; no service impact
 		}
-		d.recordIncident(f)
+		d.recordIncident(f, detected)
 		return
 	}
-	d.Engine.Submit(f.Type, f.Class, func(o remediation.Outcome) {
+	d.Engine.SubmitCause(f.Type, f.Class, detected, func(o remediation.Outcome) {
 		if o.Repaired {
 			d.health.RecordRepair(d.sim.Now(), f.Type.String())
 			return
 		}
-		d.recordIncident(f)
+		// The incident's cause is the engine's escalation record when the
+		// journal is on, the detection record otherwise (both zero when
+		// off — recordIncident then journals nothing with a parent).
+		cause := o.Journal
+		if cause == 0 {
+			cause = detected
+		}
+		d.recordIncident(f, cause)
 	})
 }
 
-func (d *Driver) recordIncident(f Fault) {
+// recordIncident escalates f into a SEV report; cause is the journal ID
+// the incident records are parented on (0 with no journal attached).
+func (d *Driver) recordIncident(f Fault, cause journal.ID) {
 	f.ensureDevice()
 	details := d.details
 	rep := d.representative(details, f.Type)
@@ -342,6 +424,14 @@ func (d *Driver) recordIncident(f Fault) {
 		panic(fmt.Sprintf("faults: storing SEV: %v", err))
 	}
 	d.incidents++
+	opened := d.jlane.Record(journal.Record{
+		Kind: journal.IncidentOpened, Parent: cause, Time: f.Start,
+		Ref: int32(id), Dev: uint8(f.Type), Class: int8(f.Class), Sev: int8(as.Severity),
+	})
+	d.jlane.Record(journal.Record{
+		Kind: journal.IncidentClosed, Parent: opened, Time: f.Start + resolution,
+		Aux: resolution, Ref: int32(id), Dev: uint8(f.Type), Class: int8(f.Class), Sev: int8(as.Severity),
+	})
 	d.health.RecordIncident(f.Start, f.Type.String(), resolution)
 	if d.logger != nil {
 		d.logger.Info("incident escalated",

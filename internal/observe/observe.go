@@ -16,6 +16,7 @@ import (
 
 	"dcnr/internal/obs"
 	"dcnr/internal/obs/health"
+	"dcnr/internal/obs/journal"
 )
 
 // Observe bundles the optional observability sinks a simulation reports
@@ -35,6 +36,11 @@ type Observe struct {
 	// Logger, when non-nil, receives structured records carrying the
 	// simulation clock; build the handler with obs.NewSimHandler.
 	Logger *slog.Logger
+	// Journal, when non-nil, records the causal lifecycle of every fault
+	// (raised → detected → ticket → dispatched/escalated → repaired →
+	// incident) as fixed-size records linked by parent IDs; write with
+	// Journal.WriteJSONL, query with Journal.Index.
+	Journal *journal.Journal
 }
 
 // Or returns o with every nil field filled from fallback — the resolution
@@ -52,6 +58,9 @@ func (o Observe) Or(fallback Observe) Observe {
 	}
 	if o.Logger == nil {
 		o.Logger = fallback.Logger
+	}
+	if o.Journal == nil {
+		o.Journal = fallback.Journal
 	}
 	return o
 }

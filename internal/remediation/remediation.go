@@ -18,6 +18,7 @@ import (
 
 	"dcnr/internal/des"
 	"dcnr/internal/obs"
+	"dcnr/internal/obs/journal"
 	"dcnr/internal/simrand"
 	"dcnr/internal/topology"
 )
@@ -147,6 +148,11 @@ type Outcome struct {
 	RepairSeconds float64
 	// Action describes the repair that ran.
 	Action string
+	// Journal is the causal ID of the engine's terminal journal record
+	// for this fault — the Repaired record for automated fixes, the
+	// Escalated record otherwise — so the caller can parent follow-up
+	// records (an incident) on it. 0 when the engine has no journal.
+	Journal journal.ID
 }
 
 // TypeStats aggregates Table 1's per-device-type columns.
@@ -223,6 +229,11 @@ type Engine struct {
 	// single-writer contract; FlushTrace publishes the tails.
 	rings  []*obs.SpanRing
 	logger *slog.Logger
+	// jlane is the engine's causal-journal lane: ticket-cut, dispatch,
+	// escalation, and repair records, parented on the IDs callers pass to
+	// SubmitCause. Submit's mutex satisfies the lane's single-writer
+	// contract; a nil lane is a no-op.
+	jlane *journal.Lane
 }
 
 // NewEngine returns an enabled Engine drawing randomness from rng and
@@ -281,14 +292,30 @@ func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 }
 
 // FlushTrace publishes any repair spans still staged in the engine's ring
-// buffers to the tracer. Call after the simulation finishes, before the
-// trace is read or written; the faults driver does this at the end of Run.
+// buffers to the tracer, and any journal records still staged in its
+// lane. Call after the simulation finishes, before the trace or journal
+// is read or written; the faults driver does this at the end of Run.
 func (e *Engine) FlushTrace() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, r := range e.rings {
 		r.Flush()
 	}
+	e.jlane.Flush()
+}
+
+// SetJournal attaches a causal journal: every submission records a
+// ticket-cut entry parented on the fault's detection record (the cause ID
+// passed to SubmitCause), then either a dispatched→repaired pair or an
+// escalated record. Call before Run; nil detaches.
+func (e *Engine) SetJournal(j *journal.Journal) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if j == nil {
+		e.jlane = nil
+		return
+	}
+	e.jlane = j.Lane("remediation")
 }
 
 // SetLogger attaches a structured logger: escalations log at debug with
@@ -321,6 +348,15 @@ func (e *Engine) Enabled() bool {
 // Submit is safe to call concurrently; the event scheduling happens under
 // the engine's mutex.
 func (e *Engine) Submit(t topology.DeviceType, class FaultClass, done func(Outcome)) {
+	e.SubmitCause(t, class, 0, done)
+}
+
+// SubmitCause is Submit with causal provenance: cause is the journal ID
+// of the record that led to this submission (the fault's detection
+// record), and becomes the parent of the ticket-cut entry the engine
+// journals. With no journal attached — or a zero cause — the records are
+// simply not written and SubmitCause behaves exactly like Submit.
+func (e *Engine) SubmitCause(t topology.DeviceType, class FaultClass, cause journal.ID, done func(Outcome)) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := e.stats[t]
@@ -330,11 +366,20 @@ func (e *Engine) Submit(t topology.DeviceType, class FaultClass, done func(Outco
 	}
 	st.Issues++
 	e.mSubmitted.Inc()
+	now := e.sim.Now()
+	ticket := e.jlane.Record(journal.Record{
+		Kind: journal.TicketCut, Parent: cause, Time: now,
+		Dev: uint8(t), Class: int8(class), Sev: -1,
+	})
 
 	pol := policies[t]
 	if !e.enabled || !pol.supported || e.rng.Bool(pol.escalate) {
 		st.Escalated++
 		e.mEscalated.Inc()
+		esc := e.jlane.Record(journal.Record{
+			Kind: journal.Escalated, Parent: ticket, Time: now,
+			Dev: uint8(t), Class: int8(class), Sev: -1,
+		})
 		if e.logger != nil {
 			e.logger.Debug("repair escalated",
 				slog.String("device_type", t.String()),
@@ -346,7 +391,7 @@ func (e *Engine) Submit(t topology.DeviceType, class FaultClass, done func(Outco
 				e.sim.Now(), map[string]any{"device_type": t.String()})
 		}
 		e.sim.After(0, func(float64) {
-			done(Outcome{Repaired: false, Priority: -1})
+			done(Outcome{Repaired: false, Priority: -1, Journal: esc})
 		})
 		return
 	}
@@ -370,6 +415,19 @@ func (e *Engine) Submit(t topology.DeviceType, class FaultClass, done func(Outco
 			obs.SimMicros(wait+repairSec/3600),
 			float64(priority), wait, repairSec)
 	}
+	// Journal the rest of the lifecycle up front: the dispatch and repair
+	// times are already decided, and recording both here (rather than
+	// inside the completion event) keeps the lane single-writer under this
+	// mutex. The JSONL output is ID-ordered, so the future-timestamped
+	// repair record lands in causal order regardless.
+	disp := e.jlane.Record(journal.Record{
+		Kind: journal.Dispatched, Parent: ticket, Time: now + wait, Aux: wait,
+		Dev: uint8(t), Class: int8(class), Sev: -1,
+	})
+	rep := e.jlane.Record(journal.Record{
+		Kind: journal.Repaired, Parent: disp, Time: now + wait + repairSec/3600, Aux: repairSec,
+		Dev: uint8(t), Class: int8(class), Sev: -1,
+	})
 
 	out := Outcome{
 		Repaired:      true,
@@ -377,6 +435,7 @@ func (e *Engine) Submit(t topology.DeviceType, class FaultClass, done func(Outco
 		WaitHours:     wait,
 		RepairSeconds: repairSec,
 		Action:        class.Action(),
+		Journal:       rep,
 	}
 	gQueue := e.gQueue
 	e.sim.After(wait+repairSec/3600, func(float64) {

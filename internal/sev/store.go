@@ -40,6 +40,10 @@ type Store struct {
 	// position order), so pure Since/Until windows binary-search a
 	// contiguous range instead of scanning the whole store.
 	byStart []int
+	// provenance is the causal-chain side store keyed by report ID,
+	// attached by AttachJournal; it is deliberately not part of the
+	// report serialization (WriteJSON stays byte-stable).
+	provenance map[int]Provenance
 
 	// Telemetry, attached by Instrument; nil fields are no-ops.
 	mIndexed    *obs.Counter

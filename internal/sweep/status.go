@@ -1,0 +1,396 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcnr/internal/obs/journal"
+)
+
+// Run states as stored in a statusCell. The zero value is pending so a
+// freshly-initialized table needs no writes.
+const (
+	statePending int32 = iota
+	stateRunning
+	stateDone
+	stateFailed
+)
+
+var stateNames = [...]string{"pending", "running", "done", "failed"}
+
+// Status is the live campaign introspection table: a lock-free per-run
+// progress grid the sweep workers update in place, queryable at any
+// moment while the campaign runs. Construct with NewStatus, set it on
+// Config.Status, and serve Handler — dcsweep's -status-addr does exactly
+// that.
+//
+// The write path is wait-free: each worker touches only its own run's
+// cell, and every cell field is an atomic, so progress accounting never
+// serializes the worker pool. Readers (Snapshot, the HTTP handlers)
+// assemble a consistent-enough view from the atomics without stopping
+// anyone.
+//
+// All recording methods are safe on a nil *Status, matching the
+// project-wide observability nil contract.
+type Status struct {
+	// begun is set once by begin; specs/cells are immutable afterwards.
+	specs   []runSpec
+	cells   []statusCell
+	startNS atomic.Int64 // campaign start, wall nanos
+
+	// subs are the SSE subscribers; finished flips when the campaign
+	// ends, closing every subscriber channel.
+	subMu    sync.Mutex
+	subs     map[int]chan []byte
+	nextSub  int
+	finished bool
+
+	// jmu guards the per-run journal summaries behind the /journal
+	// endpoint (cold path: one write per completed run).
+	jmu       sync.Mutex
+	summaries map[int]journal.Summary
+}
+
+// statusCell is one run's progress state; every field is atomic so the
+// owning worker writes without a lock.
+type statusCell struct {
+	state     atomic.Int32
+	startNS   atomic.Int64
+	endNS     atomic.Int64
+	faults    atomic.Int64
+	incidents atomic.Int64
+}
+
+// NewStatus returns an empty status table, ready for Config.Status.
+func NewStatus() *Status { return &Status{} }
+
+// begin sizes the table for the expanded grid. Called once by Run.
+func (s *Status) begin(specs []runSpec) {
+	if s == nil {
+		return
+	}
+	s.specs = specs
+	s.cells = make([]statusCell, len(specs))
+	s.startNS.Store(time.Now().UnixNano())
+}
+
+// start marks run i running.
+func (s *Status) start(i int) {
+	if s == nil {
+		return
+	}
+	c := &s.cells[i]
+	c.startNS.Store(time.Now().UnixNano())
+	c.state.Store(stateRunning)
+}
+
+// done marks run i completed and publishes a progress event.
+func (s *Status) done(i int, st *RunStats) {
+	if s == nil {
+		return
+	}
+	c := &s.cells[i]
+	c.faults.Store(int64(st.Faults))
+	c.incidents.Store(int64(st.Incidents))
+	c.endNS.Store(time.Now().UnixNano())
+	c.state.Store(stateDone)
+	s.publish(i, "done")
+}
+
+// fail marks run i failed and publishes a progress event.
+func (s *Status) fail(i int) {
+	if s == nil {
+		return
+	}
+	c := &s.cells[i]
+	c.endNS.Store(time.Now().UnixNano())
+	c.state.Store(stateFailed)
+	s.publish(i, "failed")
+}
+
+// setJournal stores run i's journal summary for the /journal endpoint.
+func (s *Status) setJournal(i int, sum journal.Summary) {
+	if s == nil {
+		return
+	}
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if s.summaries == nil {
+		s.summaries = make(map[int]journal.Summary)
+	}
+	s.summaries[i] = sum
+}
+
+// finish marks the campaign over: a final event goes out and every SSE
+// subscriber channel closes, so streaming handlers return.
+func (s *Status) finish() {
+	if s == nil {
+		return
+	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	s.finished = true
+	for _, ch := range s.subs {
+		close(ch)
+	}
+	s.subs = nil
+}
+
+// subscribe registers an SSE subscriber. The returned channel closes when
+// the campaign finishes (immediately if it already has); cancel must be
+// called when the subscriber goes away.
+func (s *Status) subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, 16)
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.finished {
+		close(ch)
+		return ch, func() {}
+	}
+	id := s.nextSub
+	s.nextSub++
+	if s.subs == nil {
+		s.subs = make(map[int]chan []byte)
+	}
+	s.subs[id] = ch
+	return ch, func() {
+		s.subMu.Lock()
+		defer s.subMu.Unlock()
+		if _, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// publish fans one run-completion event out to every subscriber. Sends
+// are non-blocking: a subscriber that stopped draining loses events
+// rather than stalling the worker pool.
+func (s *Status) publish(i int, state string) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if len(s.subs) == 0 {
+		return
+	}
+	completed := 0
+	for j := range s.cells {
+		if st := s.cells[j].state.Load(); st == stateDone || st == stateFailed {
+			completed++
+		}
+	}
+	spec := s.specs[i]
+	ev := fmt.Sprintf(`{"run":%d,"scenario":%q,"seed":%d,"scale":%d,"state":%q,"completed":%d,"total":%d}`,
+		spec.run, spec.scenario.Name, spec.seed, spec.scale, state, completed, len(s.cells))
+	for _, ch := range s.subs {
+		select {
+		case ch <- []byte(ev):
+		default:
+		}
+	}
+}
+
+// RunStatus is one run's row in a CampaignStatus.
+type RunStatus struct {
+	Run      int    `json:"run"`
+	Scenario string `json:"scenario"`
+	Seed     uint64 `json:"seed"`
+	Scale    int    `json:"scale"`
+	State    string `json:"state"`
+	// ElapsedSeconds is the run's wall time: running so far, or total once
+	// finished.
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+	// Straggler flags a running run whose elapsed wall time sits more than
+	// two standard deviations above the mean of completed runs.
+	Straggler bool `json:"straggler,omitempty"`
+	Faults    int  `json:"faults,omitempty"`
+	Incidents int  `json:"incidents,omitempty"`
+}
+
+// CampaignStatus is the live campaign snapshot the /campaign endpoint
+// serves: aggregate progress, live cross-run bands over the completed
+// runs, and the per-run grid.
+type CampaignStatus struct {
+	Total          int     `json:"total"`
+	Completed      int     `json:"completed"`
+	Running        int     `json:"running"`
+	Failed         int     `json:"failed"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Faults and Incidents band the completed runs' counts — the report's
+	// cross-run variance, watchable while the campaign is still going.
+	Faults    Band        `json:"faults"`
+	Incidents Band        `json:"incidents"`
+	Runs      []RunStatus `json:"runs"`
+}
+
+// stragglerZ is the z-score threshold above which a running run is
+// flagged, and stragglerMinDone the completed-run floor below which no
+// flagging happens (a z-score over two samples is noise).
+const (
+	stragglerZ       = 2.0
+	stragglerMinDone = 3
+)
+
+// Snapshot assembles the current campaign view. Safe to call at any time
+// from any goroutine; returns the zero value on a nil status.
+func (s *Status) Snapshot() CampaignStatus {
+	if s == nil {
+		return CampaignStatus{}
+	}
+	now := time.Now()
+	cs := CampaignStatus{Total: len(s.cells)}
+	if start := s.startNS.Load(); start != 0 {
+		cs.ElapsedSeconds = now.Sub(time.Unix(0, start)).Seconds()
+	}
+	var (
+		faults, incidents, durations []float64
+		rows                         = make([]RunStatus, len(s.cells))
+	)
+	for i := range s.cells {
+		c := &s.cells[i]
+		spec := s.specs[i]
+		row := RunStatus{
+			Run: spec.run, Scenario: spec.scenario.Name,
+			Seed: spec.seed, Scale: spec.scale,
+		}
+		state := c.state.Load()
+		row.State = stateNames[state]
+		switch state {
+		case stateRunning:
+			cs.Running++
+			row.ElapsedSeconds = now.Sub(time.Unix(0, c.startNS.Load())).Seconds()
+		case stateDone:
+			cs.Completed++
+			row.ElapsedSeconds = time.Duration(c.endNS.Load() - c.startNS.Load()).Seconds()
+			row.Faults = int(c.faults.Load())
+			row.Incidents = int(c.incidents.Load())
+			faults = append(faults, float64(row.Faults))
+			incidents = append(incidents, float64(row.Incidents))
+			durations = append(durations, row.ElapsedSeconds)
+		case stateFailed:
+			cs.Failed++
+			row.ElapsedSeconds = time.Duration(c.endNS.Load() - c.startNS.Load()).Seconds()
+		}
+		rows[i] = row
+	}
+	// Straggler flagging: z-score of each running run's elapsed time
+	// against the completed runs' wall-time distribution.
+	if mean, std, ok := meanStd(durations); ok {
+		for i := range rows {
+			if rows[i].State != stateNames[stateRunning] {
+				continue
+			}
+			z := (rows[i].ElapsedSeconds - mean) / std
+			rows[i].Straggler = z > stragglerZ
+		}
+	}
+	cs.Faults = bandOf(faults)
+	cs.Incidents = bandOf(incidents)
+	cs.Runs = rows
+	return cs
+}
+
+// meanStd returns the mean and standard deviation of xs, with ok false
+// when there are too few samples (or no spread) for a meaningful z-score.
+func meanStd(xs []float64) (mean, std float64, ok bool) {
+	if len(xs) < stragglerMinDone {
+		return 0, 0, false
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(ss / float64(len(xs)))
+	return mean, std, std > 0
+}
+
+// JournalSummary merges the journal summaries of every completed run (in
+// run order) into one campaign-level summary, reporting how many runs
+// contributed.
+func (s *Status) JournalSummary() (journal.Summary, int) {
+	if s == nil {
+		return journal.Summary{}, 0
+	}
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	ordered := make([]journal.Summary, 0, len(s.summaries))
+	for i := range s.cells {
+		if sum, ok := s.summaries[i]; ok {
+			ordered = append(ordered, sum)
+		}
+	}
+	return journal.MergeSummaries(ordered), len(ordered)
+}
+
+// Handler serves the campaign introspection endpoints:
+//
+//	/campaign         live CampaignStatus as JSON
+//	/campaign/events  SSE stream, one event per completed run
+//	/journal          merged causal-journal summary of completed runs
+func (s *Status) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/campaign", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Snapshot())
+	})
+	mux.HandleFunc("/campaign/events", s.serveEvents)
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, r *http.Request) {
+		sum, runs := s.JournalSummary()
+		writeJSON(w, struct {
+			Runs    int             `json:"runs_journaled"`
+			Summary journal.Summary `json:"summary"`
+		}{runs, sum})
+	})
+	return mux
+}
+
+// writeJSON writes v as a JSON response. The write error is consciously
+// dropped after the header went out — a client that hung up mid-response
+// is its own problem, not the campaign's.
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		return
+	}
+}
+
+// serveEvents streams run-completion events as server-sent events until
+// the campaign finishes or the client goes away.
+func (s *Status) serveEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	ch, cancel := s.subscribe()
+	defer cancel()
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return // campaign finished
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", ev); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -22,7 +22,9 @@
 package sweep
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -30,6 +32,7 @@ import (
 
 	"dcnr/internal/backbone"
 	"dcnr/internal/core"
+	"dcnr/internal/faults"
 	"dcnr/internal/obs"
 	"dcnr/internal/observe"
 	"dcnr/internal/sim"
@@ -95,6 +98,15 @@ type Config struct {
 	// (a RunStats record), streamed in run order as soon as each run's
 	// predecessor lines are flushed.
 	Results io.Writer
+	// Journal, when non-nil, receives every run's causal incident journal
+	// as JSONL in run order: a header line per run ({"run":N,...}) followed
+	// by the run's records. Like Results, the stream is byte-identical at
+	// any worker count.
+	Journal io.Writer
+	// Status, when non-nil, is updated live as runs start and finish; serve
+	// Status.Handler to watch the campaign from outside. Status only adds
+	// progress accounting — sweep_report.json is unchanged by it.
+	Status *Status
 }
 
 // Validate normalizes the campaign in place — default scales and
@@ -224,13 +236,18 @@ func Run(cfg Config) (*Result, error) {
 	)
 
 	stream := newOrderedWriter(cfg.Results, len(specs))
+	jstream := newOrderedWriter(cfg.Journal, len(specs))
+	// A journal stream or a live status table both need per-run journals;
+	// either alone turns journaling on for every run.
+	journaling := cfg.Journal != nil || cfg.Status != nil
+	cfg.Status.begin(specs)
 	results := make([]RunStats, len(specs))
 	var (
 		mergedMu sync.Mutex
 		merged   obs.Snapshot
 	)
 
-	task := func(i int) error {
+	runOne := func(i int) error {
 		gWorkers.Add(1)
 		defer gWorkers.Add(-1)
 		spec := specs[i]
@@ -244,6 +261,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		icfg := spec.scenario.intraConfig(spec.seed, spec.scale)
 		icfg.Observe = observe.Observe{Metrics: reg}
+		if journaling {
+			icfg.Observe.Journal = faults.NewJournal()
+		}
 		res, err := sim.IntraDC(icfg)
 		if err != nil {
 			mFailures.Inc()
@@ -282,6 +302,26 @@ func Run(cfg Config) (*Result, error) {
 		if err := stream.write(i, &stats); err != nil {
 			return fmt.Errorf("sweep: run %d: streaming result: %w", spec.run, err)
 		}
+		if j := icfg.Observe.Journal; j != nil {
+			// One index serves both the JSONL chunk and the summary; the
+			// journal's records are assembled (merged across lanes) once.
+			x := j.Index()
+			if cfg.Journal != nil {
+				// Serialize the run's journal as one chunk — a header line
+				// naming the run, then the records — streamed in run order.
+				var buf bytes.Buffer
+				fmt.Fprintf(&buf, "{\"run\":%d,\"scenario\":%q,\"seed\":%d,\"scale\":%d,\"records\":%d}\n",
+					spec.run, spec.scenario.Name, spec.seed, spec.scale, x.Len())
+				if err := x.WriteJSONL(&buf); err != nil {
+					return fmt.Errorf("sweep: run %d: serializing journal: %w", spec.run, err)
+				}
+				if err := jstream.writeRaw(i, buf.Bytes()); err != nil {
+					return fmt.Errorf("sweep: run %d: streaming journal: %w", spec.run, err)
+				}
+			}
+			cfg.Status.setJournal(i, x.Summary())
+		}
+		cfg.Status.done(i, &stats)
 		if o.Logger != nil {
 			o.Logger.Info("sweep run complete",
 				"run", spec.run, "of", len(specs),
@@ -291,23 +331,45 @@ func Run(cfg Config) (*Result, error) {
 		}
 		return nil
 	}
+	task := func(i int) error {
+		cfg.Status.start(i)
+		if err := runOne(i); err != nil {
+			cfg.Status.fail(i)
+			return err
+		}
+		return nil
+	}
 
 	err := core.RunLimitTraced(cfg.Workers, len(specs), o.Trace, "sweep",
 		func(i int) string {
 			s := specs[i]
 			return fmt.Sprintf("%s/seed%d/x%d", s.scenario.Name, s.seed, s.scale)
 		}, task)
-	if err != nil {
+	cfg.Status.finish()
+	// The stream errors join the run error instead of being masked by it:
+	// a campaign that both lost a run and truncated its JSONL reports both,
+	// and a clean-looking abort can no longer hide a broken stream.
+	if err = errors.Join(err, flushErrs(stream, jstream)); err != nil {
 		return nil, err
-	}
-	if err := stream.flushErr(); err != nil {
-		return nil, fmt.Errorf("sweep: streaming results: %w", err)
 	}
 	return &Result{
 		Report:  aggregate(cfg, results),
 		Runs:    results,
 		Metrics: merged,
 	}, nil
+}
+
+// flushErrs collects the sticky stream errors from the results and journal
+// streams, labeled by stream.
+func flushErrs(stream, jstream *orderedWriter) error {
+	var errs []error
+	if err := stream.flushErr(); err != nil {
+		errs = append(errs, fmt.Errorf("sweep: streaming results: %w", err))
+	}
+	if err := jstream.flushErr(); err != nil {
+		errs = append(errs, fmt.Errorf("sweep: streaming journal: %w", err))
+	}
+	return errors.Join(errs...)
 }
 
 // orderedWriter streams JSON lines in index order no matter the completion
@@ -338,12 +400,22 @@ func (ow *orderedWriter) write(i int, record any) error {
 	if err != nil {
 		return err
 	}
+	return ow.writeRaw(i, append(line, '\n'))
+}
+
+// writeRaw enqueues a pre-serialized chunk for index i — one line or many —
+// with the same ordering and sticky-error contract as write. The chunk is
+// retained until flushed; callers must not reuse it.
+func (ow *orderedWriter) writeRaw(i int, chunk []byte) error {
+	if ow.w == nil {
+		return nil
+	}
 	ow.mu.Lock()
 	defer ow.mu.Unlock()
 	if ow.err != nil {
 		return ow.err
 	}
-	ow.pending[i] = append(line, '\n')
+	ow.pending[i] = chunk
 	for {
 		buf, ok := ow.pending[ow.next]
 		if !ok {
