@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify ci bench bench-des bench-sevquery bench-obs bench-health bench-sweep test-obs test-health api apicheck
+.PHONY: build test vet lint lint-hot race verify ci bench bench-des bench-sevquery bench-obs bench-health bench-sweep test-obs test-health api apicheck
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,21 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint runs the project-invariant analyzers (cmd/dcnrlint: simdeterminism,
-# heaplock, obsnilsafe, errchecklite) and fails on any unformatted file.
+# lint runs the project-invariant analyzers (cmd/dcnrlint): the
+# per-package checks (simdeterminism, heaplock, obsnilsafe, errchecklite)
+# plus the inter-procedural module checks (simtaint, lockflow), with
+# per-analyzer wall timings on stderr, and fails on any unformatted file.
 lint:
-	$(GO) run ./cmd/dcnrlint ./...
+	$(GO) run ./cmd/dcnrlint -time ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
+# lint-hot additionally runs the compiler-backed hotalloc gate: every
+# //hot:noalloc region (DES scheduler, SpanRing, journal lanes) must be
+# free of compiler-reported heap escapes. Split from lint because it
+# shells out to `go build -gcflags=-m` per annotated package.
+lint-hot:
+	$(GO) run ./cmd/dcnrlint -time -hot ./...
 
 # api regenerates the exported-API golden file after an intentional
 # surface change; apicheck fails when the facade's exported API drifts
@@ -46,10 +55,10 @@ test-health:
 	$(GO) test -race ./internal/obs/health/ ./internal/notify/
 	$(GO) test -race -run 'TestHealth|TestSLO|TestBackboneHealth' .
 
-# verify is the tier-1 gate: vet, the static-analysis suite, and the
-# race-enabled test suite (which includes the obs package and all
-# instrumented packages).
-verify: vet lint apicheck race test-obs
+# verify is the tier-1 gate: vet, the static-analysis suite (including
+# the hotalloc escape gate), and the race-enabled test suite (which
+# includes the obs package and all instrumented packages).
+verify: vet lint lint-hot apicheck race test-obs
 
 # ci is the ordered gate for continuous integration:
 # build -> vet -> lint -> apicheck -> race -> test-obs, fail-fast.

@@ -3,11 +3,25 @@
 //
 // Usage:
 //
-//	dcnrlint [-C dir] [-json] [-list] [packages...]
+//	dcnrlint [-C dir] [-json] [-list] [-hot] [-time] [packages...]
+//	dcnrlint -explain <analyzer>
+//	dcnrlint [-C dir] -graph <func> [-depth n] [packages...]
 //
 // Packages default to ./... and accept any `go list` pattern. Exit status
 // is 0 with no findings, 1 when diagnostics were reported, and 2 on driver
 // failure (unparseable or untypeable source, go list errors).
+//
+// The default run executes the per-package analyzers plus the
+// inter-procedural module analyzers (simtaint, lockflow). -hot adds the
+// compiler-backed hotalloc gate, which shells out to `go build
+// -gcflags=-m` and is therefore split into its own `make lint-hot`
+// target. -time appends per-analyzer wall timings to stderr so lint
+// latency stays visible in CI logs.
+//
+// -explain prints an analyzer's full invariant contract (what it checks,
+// why, and where its golden fixture lives). -graph emits the call-graph
+// neighborhood of a function — every node within -depth call hops — as
+// Graphviz DOT on stdout, for debugging inter-procedural findings.
 //
 // Findings print as file:line:col: message (analyzer); -json emits the
 // same diagnostics as a JSON array for tooling. A finding is suppressed by
@@ -34,6 +48,11 @@ func run(args []string) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	dir := fs.String("C", ".", "run as if started in this directory")
+	hot := fs.Bool("hot", false, "also run the compiler-backed hotalloc gate")
+	timings := fs.Bool("time", false, "report per-analyzer wall timings on stderr")
+	explain := fs.String("explain", "", "print an analyzer's invariant contract and exit")
+	graph := fs.String("graph", "", "emit the call-graph neighborhood of a function as DOT")
+	depth := fs.Int("depth", 2, "call-hop radius for -graph")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -41,16 +60,36 @@ func run(args []string) int {
 		for _, a := range analyzers.All {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range analyzers.AllModule {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("%-16s %s\n", analyzers.HotAlloc.Name, analyzers.HotAlloc.Doc)
 		return 0
+	}
+	if *explain != "" {
+		return runExplain(*explain)
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := analyzers.Run(*dir, patterns, analyzers.All)
+	if *graph != "" {
+		return runGraph(*dir, patterns, *graph, *depth)
+	}
+
+	modList := analyzers.AllModule
+	if *hot {
+		modList = append(append([]*analyzers.ModuleAnalyzer{}, modList...), analyzers.HotAlloc)
+	}
+	diags, wall, err := analyzers.RunModule(*dir, patterns, analyzers.All, modList)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dcnrlint: %v\n", err)
 		return 2
+	}
+	if *timings {
+		for _, t := range wall {
+			fmt.Fprintf(os.Stderr, "dcnrlint: %-16s %8.1fms\n", t.Name, float64(t.Wall.Microseconds())/1000)
+		}
 	}
 	// The findings are the product: a failed write to stdout (a closed
 	// pipe under `head`, say) must not masquerade as a clean run.
@@ -60,6 +99,37 @@ func run(args []string) int {
 	}
 	if len(diags) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// runExplain prints the named analyzer's contract: the one-line doc, then
+// the full invariant statement with its fixture pointer.
+func runExplain(name string) int {
+	var doc, contract string
+	if a := analyzers.ByName(name); a != nil {
+		doc, contract = a.Doc, a.Contract
+	} else if a := analyzers.ModuleByName(name); a != nil {
+		doc, contract = a.Doc, a.Contract
+	} else {
+		fmt.Fprintf(os.Stderr, "dcnrlint: unknown analyzer %q (see -list)\n", name)
+		return 2
+	}
+	fmt.Printf("%s — %s\n\n%s\n", name, doc, contract)
+	return 0
+}
+
+// runGraph loads the module and writes the DOT neighborhood of the
+// matched function(s) to stdout.
+func runGraph(dir string, patterns []string, fn string, depth int) int {
+	m, err := analyzers.LoadModule(dir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcnrlint: %v\n", err)
+		return 2
+	}
+	if err := m.Graph().WriteDOT(os.Stdout, fn, depth); err != nil {
+		fmt.Fprintf(os.Stderr, "dcnrlint: %v\n", err)
+		return 2
 	}
 	return 0
 }

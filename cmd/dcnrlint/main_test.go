@@ -81,10 +81,13 @@ func TestFixtureModuleEndToEnd(t *testing.T) {
 		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, stdout)
 	}
 	want := []string{
-		"sim/sim.go:22 obsnilsafe",     // value obs.Counter field
-		"sim/sim.go:27 heaplock",       // sim.After without the mutex
-		"sim/sim.go:27 simdeterminism", // time.Now in simulation scope
-		"sim/sim.go:39 errchecklite",   // discarded f.Close error
+		"sim/sim.go:23 obsnilsafe",     // value obs.Counter field
+		"sim/sim.go:28 heaplock",       // sim.After without the mutex
+		"sim/sim.go:28 lockflow",       // same site, proven via the unlocked path Kick
+		"sim/sim.go:28 simdeterminism", // time.Now in simulation scope
+		"sim/sim.go:39 simtaint",       // wall-clock stamp reaches Lane.Record
+		"sim/sim.go:43 simdeterminism", // time.Now inside the stamp helper
+		"sim/sim.go:52 errchecklite",   // discarded f.Close error
 	}
 	got := make([]string, 0, len(diags))
 	for _, d := range diags {
@@ -119,6 +122,19 @@ func TestRealTreeClean(t *testing.T) {
 	}
 }
 
+// TestRealTreeHotClean extends the acceptance gate to the compiler-backed
+// hotalloc analyzer: every //hot:noalloc region in the repository must be
+// escape-free, so `make lint-hot` can gate CI.
+func TestRealTreeHotClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and lints the whole repository")
+	}
+	stdout, stderr, code := runLint(t, "../..", "-hot", "./...")
+	if code != 0 {
+		t.Fatalf("repository does not pass -hot (exit %d):\n%s%s", code, stdout, stderr)
+	}
+}
+
 func TestListAnalyzers(t *testing.T) {
 	stdout, _, code := runLint(t, ".", "-list")
 	if code != 0 {
@@ -127,6 +143,63 @@ func TestListAnalyzers(t *testing.T) {
 	for _, a := range analyzers.All {
 		if !strings.Contains(stdout, a.Name) {
 			t.Errorf("-list output missing %q:\n%s", a.Name, stdout)
+		}
+	}
+	for _, name := range []string{"simtaint", "lockflow", "hotalloc"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing module analyzer %q:\n%s", name, stdout)
+		}
+	}
+}
+
+// TestExplain pins the -explain contract: every analyzer prints a
+// non-trivial invariant statement; unknown names are a driver error.
+func TestExplain(t *testing.T) {
+	for _, name := range []string{"simdeterminism", "simtaint", "lockflow", "hotalloc"} {
+		stdout, stderr, code := runLint(t, ".", "-explain", name)
+		if code != 0 {
+			t.Fatalf("-explain %s exited %d: %s", name, code, stderr)
+		}
+		if !strings.HasPrefix(stdout, name) || len(stdout) < 200 {
+			t.Errorf("-explain %s output too thin:\n%s", name, stdout)
+		}
+	}
+	_, stderr, code := runLint(t, ".", "-explain", "nosuch")
+	if code != 2 || !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("-explain nosuch: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestGraphDOT runs -graph over the fixture module and checks the DOT
+// neighborhood: the matched function is highlighted and its static call
+// edge is present.
+func TestGraphDOT(t *testing.T) {
+	stdout, stderr, code := runLint(t, filepath.Join("testdata", "fixturemod"),
+		"-graph", "Scheduler.Log", "./...")
+	if code != 0 {
+		t.Fatalf("-graph exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "digraph callgraph") {
+		t.Fatalf("-graph did not emit DOT:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "fillcolor=lightyellow") {
+		t.Errorf("-graph should highlight the matched root:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "Scheduler).Log\" -> ") || !strings.Contains(stdout, "stamp") {
+		t.Errorf("-graph should include the Log -> stamp call edge:\n%s", stdout)
+	}
+}
+
+// TestTimeFlag checks -time reports the load stage and one line per
+// analyzer on stderr without disturbing the findings on stdout.
+func TestTimeFlag(t *testing.T) {
+	_, stderr, code := runLint(t, filepath.Join("testdata", "fixturemod"), "-time", "./clean/...")
+	if code != 0 {
+		t.Fatalf("-time clean run exited %d: %s", code, stderr)
+	}
+	for _, stage := range []string{"load", "simdeterminism", "simtaint", "lockflow"} {
+		if !strings.Contains(stderr, stage) {
+			t.Errorf("-time output missing stage %q:\n%s", stage, stderr)
 		}
 	}
 }

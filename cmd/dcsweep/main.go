@@ -179,13 +179,13 @@ func run(o options) error {
 		status := dcnr.NewSweepStatus()
 		cfg.Status = status
 		logger := opsLogger(o, cfg.Observe.Logger)
-		if srv, addr, serveErr := serveStatus(o.statusAddr, status, logger); serveErr != nil {
+		if shutdown, addr, serveErr := serveStatus(o.statusAddr, status, logger); serveErr != nil {
 			// A dead status endpoint is an observability gap, not a reason
 			// to abandon the campaign — report it and sweep anyway.
 			logger.Warn("campaign status server failed to bind; sweeping without introspection",
 				"addr", o.statusAddr, "err", serveErr)
 		} else {
-			defer srv.Close()
+			defer shutdown()
 			if _, err := fmt.Fprintf(stdout,
 				"status: http://%s (/campaign, /campaign/events, /journal)\n", addr); err != nil {
 				return err
@@ -246,20 +246,30 @@ func run(o options) error {
 }
 
 // serveStatus binds the campaign status endpoints on addr and serves them
-// until the returned server is closed. It returns the bound address so
-// ":0" works in tests.
-func serveStatus(addr string, status *dcnr.SweepStatus, logger *slog.Logger) (*http.Server, string, error) {
+// until the returned shutdown function is called. Shutdown severs any
+// live SSE subscribers (their handlers return via the request context)
+// and joins the serving goroutine, so nothing it spawned can outlive the
+// sweep — in particular no late logger.Warn against a writer the caller
+// has already torn down. It returns the bound address so ":0" works in
+// tests.
+func serveStatus(addr string, status *dcnr.SweepStatus, logger *slog.Logger) (func(), string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
 	srv := &http.Server{Handler: status.Handler()}
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Warn("campaign status server stopped", "err", err)
 		}
 	}()
-	return srv, ln.Addr().String(), nil
+	shutdown := func() {
+		_ = srv.Close()
+		<-done
+	}
+	return shutdown, ln.Addr().String(), nil
 }
 
 // opsLogger returns the campaign logger, falling back — when -log-level is

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -223,6 +226,68 @@ func TestRunStatusAndJournal(t *testing.T) {
 	}
 	if records == 0 {
 		t.Error("journal has no records")
+	}
+}
+
+// TestServeStatusShutdownJoins pins the status-server lifecycle: shutdown
+// returns only after the serving goroutine exits, severs a live SSE
+// subscriber rather than waiting for it, and releases the port — nothing
+// serveStatus spawned outlives the call.
+func TestServeStatusShutdownJoins(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	shutdown, addr, err := serveStatus("127.0.0.1:0", dcnr.NewSweepStatus(), logger)
+	if err != nil {
+		t.Fatalf("serveStatus: %v", err)
+	}
+
+	// Hold a live SSE stream open: the handler is now parked in its
+	// select, waiting for events or the connection to go away.
+	resp, err := http.Get("http://" + addr + "/campaign/events")
+	if err != nil {
+		t.Fatalf("GET /campaign/events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("/campaign/events Content-Type = %q", ct)
+	}
+
+	returned := make(chan struct{})
+	go func() {
+		shutdown()
+		close(returned)
+	}()
+	select {
+	case <-returned:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown did not return with a live SSE subscriber; serving goroutine not joined")
+	}
+
+	// The subscriber's connection was severed, so the stream ends.
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		r := bufio.NewReader(resp.Body)
+		for {
+			if _, err := r.ReadString('\n'); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case <-readDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream still open after shutdown")
+	}
+
+	// And the port is free for the next campaign.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("address still bound after shutdown: %v", err)
+	}
+	ln.Close()
+	if s := logBuf.String(); strings.Contains(s, "status server stopped") {
+		t.Errorf("clean shutdown logged a server failure: %s", s)
 	}
 }
 

@@ -102,12 +102,12 @@ func main() {
 		}
 		d.health = eng
 		d.journal = dcnr.NewJournal()
-		srv, addr, err := startMetricsServer(*metricsAddr, d.metrics, d.health, d.journal)
+		shutdown, addr, err := startMetricsServer(*metricsAddr, d.metrics, d.health, d.journal)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "repro:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
+		defer shutdown()
 		fmt.Fprintf(os.Stderr, "repro: introspection on http://%s (/debug/vars, /metrics, /healthz, /slo, /journal, /debug/pprof/)\n", addr)
 	}
 	if *traceOut != "" {
@@ -153,8 +153,10 @@ var (
 // report; eng may be nil, which reads as permanently healthy), /journal
 // (the causal journal's summary; jnl may be nil, which reads as an empty
 // journal), and /debug/pprof/ (the net/http/pprof endpoints). It returns
-// the bound address so callers can pass ":0" and discover the port.
-func startMetricsServer(addr string, reg *dcnr.MetricsRegistry, eng *dcnr.HealthEngine, jnl *dcnr.Journal) (*http.Server, string, error) {
+// a shutdown function that stops the server AND joins the serving
+// goroutine — callers must invoke it so no goroutine outlives the run —
+// plus the bound address so callers can pass ":0" and discover the port.
+func startMetricsServer(addr string, reg *dcnr.MetricsRegistry, eng *dcnr.HealthEngine, jnl *dcnr.Journal) (func(), string, error) {
 	publishedRegistry.Store(reg)
 	publishOnce.Do(func() {
 		expvar.Publish("dcnr", expvar.Func(func() any {
@@ -217,12 +219,22 @@ func startMetricsServer(addr string, reg *dcnr.MetricsRegistry, eng *dcnr.Health
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintf(os.Stderr, "repro: metrics server stopped: %v\n", err)
 		}
 	}()
-	return srv, ln.Addr().String(), nil
+	shutdown := func() {
+		// Close (not Shutdown) also severs active connections — a scraper
+		// holding a streaming response open must not stall process exit —
+		// and the join guarantees the goroutine's stderr write cannot land
+		// after the caller has moved on.
+		_ = srv.Close()
+		<-done
+	}
+	return shutdown, ln.Addr().String(), nil
 }
 
 // writeTraceFile writes the trace to path, losing neither the write error

@@ -3,9 +3,11 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"dcnr"
 )
@@ -103,11 +105,11 @@ func TestMetricsServerEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, addr, err := startMetricsServer("127.0.0.1:0", reg, eng, dcnr.NewJournal())
+	shutdown, addr, err := startMetricsServer("127.0.0.1:0", reg, eng, dcnr.NewJournal())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer shutdown()
 
 	get := func(path string) string {
 		t.Helper()
@@ -165,13 +167,42 @@ func TestMetricsServerEndpoints(t *testing.T) {
 	// engine reads as permanently healthy.
 	reg2 := dcnr.NewMetricsRegistry()
 	reg2.Counter("repro_second_total").Inc()
-	srv2, addr2, err := startMetricsServer("127.0.0.1:0", reg2, nil, nil)
+	shutdown2, addr2, err := startMetricsServer("127.0.0.1:0", reg2, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv2.Close()
+	defer shutdown2()
 	if body := get("/metrics"); !strings.Contains(body, "repro_second_total") {
 		t.Errorf("first server still exposing old registry after re-publish:\n%s", body)
 	}
 	_ = addr2
+}
+
+// TestMetricsServerShutdownJoins pins the server lifecycle: shutdown
+// returns only after the serving goroutine has exited, and the port is
+// actually released — no goroutine or listener outlives the call.
+func TestMetricsServerShutdownJoins(t *testing.T) {
+	shutdown, addr, err := startMetricsServer("127.0.0.1:0", dcnr.NewMetricsRegistry(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	returned := make(chan struct{})
+	go func() {
+		shutdown()
+		close(returned)
+	}()
+	select {
+	case <-returned:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown did not return; serving goroutine not joined")
+	}
+	// The listener must be gone: a fresh bind of the same address succeeds.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("address still bound after shutdown: %v", err)
+	}
+	ln.Close()
+	// A second shutdown-after-shutdown must not panic or hang (Close is
+	// idempotent and the done channel is already closed).
+	shutdown()
 }

@@ -55,6 +55,9 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description for `dcnrlint -list`.
 	Doc string
+	// Contract is the longer invariant statement printed by
+	// `dcnrlint -explain <name>`, with a pointer to an example fixture.
+	Contract string
 	// Run performs the check.
 	Run func(*Pass)
 }

@@ -18,7 +18,7 @@ import (
 // checker, so fixtures type-check exactly like real code.
 var fixtureDeps = []string{
 	"dcnr/internal/des", "dcnr/internal/obs", "dcnr/internal/obs/health",
-	"dcnr/internal/obs/journal", "dcnr/internal/simrand",
+	"dcnr/internal/obs/journal", "dcnr/internal/sev", "dcnr/internal/simrand",
 	"bytes", "fmt", "io", "log/slog", "math/rand", "net", "os", "sort",
 	"sync", "time",
 }

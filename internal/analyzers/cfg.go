@@ -1,0 +1,474 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file lowers a function body to a control-flow graph of basic
+// blocks — the substrate the dataflow solver (dataflow.go) iterates over.
+// The lowering is intentionally source-shaped: every statement of the
+// body appears in exactly one block, in execution order, and control
+// expressions (an if condition, a switch tag, a range operand) are
+// appended to the block that evaluates them, so transfer functions see
+// every expression the program evaluates without re-walking the AST.
+//
+// Modeling decisions, chosen for the analyzers this engine serves:
+//
+//   - Function literals are opaque values: their bodies are not lowered
+//     into the enclosing CFG (closures run at an unknown time, usually
+//     inside the DES event loop, which has its own concurrency contract).
+//   - defer statements appear at their lexical position. The deferred
+//     call's effect-at-return is the analyzer's business (lockflow treats
+//     a deferred Unlock as "held until exit", matching Go's semantics for
+//     the patterns this repo uses).
+//   - panics and runtime aborts are not modeled as edges; the Exit block
+//     is reached by returns and by falling off the end.
+type CFG struct {
+	// Blocks holds every basic block; Blocks[0] is the entry. The Exit
+	// block is included (always last).
+	Blocks []*Block
+	// Exit is the distinguished exit block: returns and the fall-off end
+	// of the body edge here. It holds no statements.
+	Exit *Block
+}
+
+// Block is one basic block: a straight-line run of AST nodes with a
+// single entry and a set of successor edges.
+type Block struct {
+	Index int
+	// Nodes are the statements and control expressions of the block, in
+	// execution order. Entries are ast.Stmt or ast.Expr values.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// cfgBuilder carries the under-construction graph plus the break,
+// continue, goto, and fallthrough context of the statement walk.
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block receiving statements; nil after a terminating
+	// statement (return, break, goto) until the next label or join point.
+	cur *Block
+
+	loops  []loopCtx
+	labels map[string]*Block
+	gotos  []pendingGoto
+}
+
+// loopCtx is one enclosing breakable construct: loops carry both targets,
+// switch/select only brk.
+type loopCtx struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG lowers fn's body to a control-flow graph. fn must have a body.
+func BuildCFG(fn *ast.FuncDecl) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*Block{}}
+	b.cur = b.newBlock()
+	exit := &Block{}
+	b.stmtList(fn.Body.List)
+	b.edge(b.cur, exit)
+	b.labels[retLabel] = exit
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, exit)
+	b.cfg.Exit = exit
+	for _, blk := range b.cfg.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge links from → to; a nil from (terminated path) adds nothing.
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block, opening an unreachable block
+// if the path has terminated (so dead statements still exist for
+// reporting passes).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// findLoop resolves a break/continue target; label "" means innermost.
+// cont selects the continue target (skipping switch/select contexts).
+func (b *cfgBuilder) findLoop(label string, cont bool) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		l := b.loops[i]
+		if label != "" && l.label != label {
+			continue
+		}
+		if cont {
+			if l.cont != nil {
+				return l.cont
+			}
+			continue
+		}
+		return l.brk
+	}
+	return nil
+}
+
+// stmt lowers one statement. label is the pending label when the
+// statement is the body of a LabeledStmt (so break/continue can name it).
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.edge(b.cur, target)
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.returnEdge()
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findLoop(labelName(s.Label), false); t != nil {
+				b.add(s)
+				b.edge(b.cur, t)
+				b.cur = nil
+			}
+		case token.CONTINUE:
+			if t := b.findLoop(labelName(s.Label), true); t != nil {
+				b.add(s)
+				b.edge(b.cur, t)
+				b.cur = nil
+			}
+		case token.GOTO:
+			b.add(s)
+			if b.cur != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by the switch lowering (the case body's fall edge);
+			// nothing terminates here.
+			b.add(s)
+		}
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		afterThen := b.cur
+		var afterElse *Block
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else, "")
+			afterElse = b.cur
+		}
+		done := b.newBlock()
+		b.edge(afterThen, done)
+		if s.Else != nil {
+			b.edge(afterElse, done)
+		} else {
+			b.edge(cond, done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		done := &Block{}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, done)
+		}
+		b.loops = append(b.loops, loopCtx{label: label, brk: done, cont: cont})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, cont)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.placeBlock(done)
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		// The RangeStmt node itself is the head's "statement": transfer
+		// functions read X and the key/value definitions from it.
+		head.Nodes = append(head.Nodes, s)
+		done := &Block{}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, done)
+		b.loops = append(b.loops, loopCtx{label: label, brk: done, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.placeBlock(done)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s.Body.List, label, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			cc := c.(*ast.CaseClause)
+			exprs := make([]ast.Node, len(cc.List))
+			for i, e := range cc.List {
+				exprs[i] = e
+			}
+			return exprs, cc.Body, cc.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, label, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			cc := c.(*ast.CaseClause)
+			return nil, cc.Body, cc.List == nil
+		})
+
+	case *ast.SelectStmt:
+		sel := b.cur
+		if sel == nil {
+			sel = b.newBlock()
+			b.cur = sel
+		}
+		done := &Block{}
+		b.loops = append(b.loops, loopCtx{label: label, brk: done})
+		ends := make([]*Block, 0, len(s.Body.List))
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			caseB := b.newBlock()
+			b.edge(sel, caseB)
+			b.cur = caseB
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				ends = append(ends, b.cur)
+			}
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.placeBlockFrom(done, ends, nil)
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.ExprStmt, *ast.IncDecStmt,
+		*ast.SendStmt, *ast.GoStmt, *ast.DeferStmt, *ast.EmptyStmt:
+		b.add(s)
+	}
+}
+
+// returnEdge terminates the current path into the (future) exit block.
+// The exit block does not exist yet while building, so returns are staged
+// as gotos to a reserved label.
+func (b *cfgBuilder) returnEdge() {
+	if b.cur != nil {
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: retLabel})
+	}
+	b.cur = nil
+}
+
+// retLabel is the reserved goto label return statements target; BuildCFG
+// binds it to the exit block.
+const retLabel = "\x00return"
+
+// switchClauses lowers the case clauses of a switch or type switch. split
+// extracts each clause's guard expressions, body, and default-ness. Guard
+// expressions are evaluated in the dispatch block (they are, dynamically,
+// evaluated until one matches — the CFG approximates with "all").
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string,
+	split func(ast.Stmt) ([]ast.Node, []ast.Stmt, bool)) {
+
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.newBlock()
+		b.cur = dispatch
+	}
+	done := &Block{}
+	b.loops = append(b.loops, loopCtx{label: label, brk: done})
+
+	// Create every case's entry block first so fallthrough can edge to
+	// the lexically next case.
+	entries := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		exprs, _, isDefault := split(c)
+		for _, e := range exprs {
+			dispatch.Nodes = append(dispatch.Nodes, e)
+		}
+		entries[i] = b.newBlock()
+		b.edge(dispatch, entries[i])
+		if isDefault {
+			hasDefault = true
+		}
+	}
+	ends := make([]*Block, 0, len(clauses))
+	for i, c := range clauses {
+		_, body, _ := split(c)
+		b.cur = entries[i]
+		b.stmtList(body)
+		if b.cur == nil {
+			continue
+		}
+		if n := len(b.cur.Nodes); n > 0 {
+			if br, ok := b.cur.Nodes[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(entries) {
+				b.edge(b.cur, entries[i+1])
+				continue
+			}
+		}
+		ends = append(ends, b.cur)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	var extra *Block
+	if !hasDefault {
+		extra = dispatch
+	}
+	b.placeBlockFrom(done, ends, extra)
+}
+
+// placeBlock registers a staged join block (created with &Block{} so break
+// statements could target it before it had an index) and makes it current.
+func (b *cfgBuilder) placeBlock(done *Block) {
+	done.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, done)
+	b.cur = done
+}
+
+// placeBlockFrom places a staged join block and edges every end block
+// (plus the optional extra predecessor) into it.
+func (b *cfgBuilder) placeBlockFrom(done *Block, ends []*Block, extra *Block) {
+	for _, e := range ends {
+		b.edge(e, done)
+	}
+	if extra != nil {
+		b.edge(extra, done)
+	}
+	b.placeBlock(done)
+}
+
+func labelName(id *ast.Ident) string {
+	if id == nil {
+		return ""
+	}
+	return id.Name
+}
+
+// String renders the CFG compactly for tests and debugging:
+// "b0[stmt kinds] -> b1 b2" per line.
+func (c *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d[", blk.Index)
+		for i, n := range blk.Nodes {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(nodeKind(n))
+		}
+		sb.WriteByte(']')
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		if blk == c.Exit {
+			sb.WriteString(" (exit)")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// nodeKind names an AST node for CFG string renderings.
+func nodeKind(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return "assign"
+	case *ast.DeclStmt:
+		return "decl"
+	case *ast.ExprStmt:
+		return "expr"
+	case *ast.IncDecStmt:
+		return "incdec"
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.BranchStmt:
+		return strings.ToLower(n.Tok.String())
+	case *ast.RangeStmt:
+		return "range"
+	case *ast.SendStmt:
+		return "send"
+	case *ast.GoStmt:
+		return "go"
+	case *ast.DeferStmt:
+		return "defer"
+	case ast.Expr:
+		return "cond"
+	}
+	return "stmt"
+}

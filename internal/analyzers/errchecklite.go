@@ -30,7 +30,13 @@ import (
 var ErrCheckLite = &Analyzer{
 	Name: "errchecklite",
 	Doc:  "I/O and serve-loop errors must be checked or explicitly discarded",
-	Run:  runErrCheckLite,
+	Contract: `Error returns from I/O-shaped calls (file/network writes, Close,
+ReadJSON/WriteJSON, serve loops — including ones spawned in go
+statements) must be assigned and checked, or explicitly discarded with
+_ =. A measurement pipeline that drops a write error reports truncated
+statistics as complete.
+Example fixture: internal/analyzers/testdata/src/errchecklite/bad/bad.go`,
+	Run: runErrCheckLite,
 }
 
 // ioPackages are packages whose error-returning calls are always in scope.

@@ -24,7 +24,15 @@ import (
 var HeapLock = &Analyzer{
 	Name: "heaplock",
 	Doc:  "des.Simulator mutations on mutex-owning structs must hold the mutex",
-	Run:  runHeapLock,
+	Contract: `In any struct declaring both a sync.Mutex/RWMutex field and a
+*des.Simulator field, each method must hold the mutex (a lexically
+earlier Lock with no intervening non-deferred Unlock) at every
+<recv>.<sim>.Schedule/After/Cancel/Every/Run/Step/Halt/Reset call —
+the PR-2 race class. Per-method and syntactic; helpers annotated
+"//lint:allow heaplock caller holds mu" are instead verified
+inter-procedurally by lockflow.
+Example fixture: internal/analyzers/testdata/src/heaplock/bad/bad.go`,
+	Run: runHeapLock,
 }
 
 // heapMutators are the des.Simulator methods that touch the event heap or

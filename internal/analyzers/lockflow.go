@@ -1,0 +1,261 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockFlow is the inter-procedural successor of heaplock. heaplock checks
+// each method of a mutex+simulator struct in isolation, so a mutation
+// moved into a helper method — annotated "//lint:allow heaplock caller
+// holds mu" — drops out of its view entirely; whether every caller really
+// holds the mutex goes unverified. LockFlow verifies it: a must-hold
+// dataflow over each guarded method's CFG learns the lock state at every
+// statement, and a fixpoint over the call graph propagates "this method
+// can be entered with the mutex NOT held" (exported methods are unlocked
+// entry points by convention; unexported ones inherit it from non-closure
+// call sites where the caller had not locked). A heap mutation is
+// reported only when an unlocked path actually reaches it — with the
+// caller chain named in the message — so a correctly confined helper
+// stays silent no matter what its //lint:allow comment claims.
+//
+// Scope and conventions (DESIGN §12): only methods of structs owning both
+// a mutex and a *des.Simulator are analyzed — that is the shape that
+// shares a simulator across goroutines (the PR-2 race class); plain
+// functions driving a simulator single-threaded (setup code, the sweep
+// runner) are out of scope. Mutations are matched type-wise on ANY
+// *des.Simulator-valued expression, so `sim := e.sim; sim.After(...)`
+// is seen where heaplock's receiver-field syntax match is not. Function
+// literals run inside the single-threaded DES event loop: call sites
+// inside closures do not transmit unlocked reachability, and a helper
+// called only from closures is exempt.
+var LockFlow = &ModuleAnalyzer{
+	Name: "lockflow",
+	Doc:  "DES heap mutations must be unreachable from call paths that do not hold the owning mutex",
+	Contract: `On any struct owning both a mutex and a *des.Simulator, every call
+path from an unlocked entry point (exported methods, by convention) to a
+des heap mutation (Schedule/After/Cancel/Every/Run/Step/Halt/Reset, on
+ANY *des.Simulator-typed expression, aliases included) must acquire the
+mutex along the way. Unlike heaplock, which checks one method at a time,
+lockflow follows calls between methods: a helper annotated "caller holds
+mu" is verified against its actual callers and reported with the
+unlocked caller chain if the claim is false. Call sites inside function
+literals are exempt (they run on the single-threaded DES event loop).
+Example fixture: internal/analyzers/testdata/src/lockflow/bad/bad.go`,
+	Run: runLockFlow,
+}
+
+// lockSite is one heap mutation inside a guarded method, with the lock
+// state the must-hold analysis proved at that point.
+type lockSite struct {
+	call   *ast.CallExpr
+	method string // the des.Simulator mutator name
+	held   bool
+}
+
+// lockInfo is one guarded method's lockflow summary.
+type lockInfo struct {
+	node      *CGNode
+	guarded   *lockedSimType
+	mutexName string
+	recvName  string
+	sites     []lockSite
+	// heldAt maps each outgoing call edge to whether the receiver's
+	// mutex is (must-)held at the call site.
+	heldAt map[*CGEdge]bool
+	// unlockedReach: some call path enters this method with the mutex
+	// not held; via is one witness chain of caller names.
+	unlockedReach bool
+	via           string
+}
+
+func runLockFlow(pass *ModulePass) error {
+	m := pass.Mod
+	g := m.Graph()
+
+	guarded := make(map[*types.TypeName]*lockedSimType)
+	for _, pkg := range m.Pkgs {
+		for _, t := range findLockedSimTypes(pkg.Types) {
+			guarded[t.named.Obj()] = t
+		}
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	infos := make(map[*CGNode]*lockInfo)
+	for _, n := range g.Order {
+		if li := analyzeLockMethod(n, guarded); li != nil {
+			infos[n] = li
+		}
+	}
+
+	// Unlocked-reachability fixpoint. Exported methods seed it: external
+	// callers hold nothing. An unheld, non-closure call edge between
+	// guarded methods transmits it.
+	for _, li := range infos {
+		if li.node.Fn.Exported() {
+			li.unlockedReach = true
+			li.via = li.node.Fn.Name()
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Order {
+			li := infos[n]
+			if li == nil || !li.unlockedReach {
+				continue
+			}
+			for _, e := range n.Out {
+				if e.InClosure || li.heldAt[e] {
+					continue
+				}
+				cal := infos[e.To]
+				if cal == nil || cal.unlockedReach {
+					continue
+				}
+				cal.unlockedReach = true
+				cal.via = li.via + " -> " + cal.node.Fn.Name()
+				changed = true
+			}
+		}
+	}
+
+	for _, n := range g.Order {
+		li := infos[n]
+		if li == nil || !li.unlockedReach {
+			continue
+		}
+		for _, s := range li.sites {
+			if s.held {
+				continue
+			}
+			pass.Reportf(s.call.Pos(),
+				"des.Simulator.%s runs without holding %s.%s on the unlocked path %s: concurrent entry corrupts the event heap (lock first, or keep every caller on a locked path)",
+				s.method, li.recvName, li.mutexName, li.via)
+		}
+	}
+	return nil
+}
+
+// analyzeLockMethod computes one guarded method's mutation sites and
+// per-call-edge lock state via the must-hold dataflow, or returns nil for
+// functions that are not guarded-type methods.
+func analyzeLockMethod(n *CGNode, guarded map[*types.TypeName]*lockedSimType) *lockInfo {
+	info := n.Pkg.Info
+	if n.Decl.Recv == nil || len(n.Decl.Recv.List) != 1 || len(n.Decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	named := baseNamed(info.TypeOf(n.Decl.Recv.List[0].Type))
+	if named == nil {
+		return nil
+	}
+	t := guarded[named.Obj()]
+	if t == nil {
+		return nil
+	}
+	recvName := n.Decl.Recv.List[0].Names[0].Name
+	if recvName == "_" {
+		return nil
+	}
+	li := &lockInfo{
+		node: n, guarded: t, mutexName: firstKey(t.mutexes),
+		recvName: recvName, heldAt: make(map[*CGEdge]bool),
+	}
+
+	cfg := n.CFG()
+	flow := Flow[int]{
+		Dir:      Forward,
+		Boundary: func() int { return 0 },
+		Init:     func() int { return 1 }, // top for a must-analysis
+		Transfer: func(b *Block, in int) int {
+			held := in != 0
+			for _, nd := range b.Nodes {
+				held = li.transferNode(nd, held, nil)
+			}
+			if held {
+				return 1
+			}
+			return 0
+		},
+		Join:  func(a, b int) int { return a & b },
+		Equal: func(a, b int) bool { return a == b },
+	}
+	heldIn := Solve(cfg, flow)
+
+	siteOf := make(map[*ast.CallExpr]*CGEdge, len(n.Out))
+	for _, e := range n.Out {
+		siteOf[e.Site] = e
+	}
+	for _, b := range cfg.Blocks {
+		held := heldIn[b] != 0
+		for _, nd := range b.Nodes {
+			held = li.transferNode(nd, held, func(call *ast.CallExpr, h bool) {
+				if e, ok := siteOf[call]; ok {
+					li.heldAt[e] = h
+				}
+				if method, ok := simMutatorCall(info, call); ok {
+					li.sites = append(li.sites, lockSite{call: call, method: method, held: h})
+				}
+			})
+		}
+	}
+	return li
+}
+
+// transferNode threads the held flag through one CFG node, invoking visit
+// (if non-nil) for every call expression outside function literals with
+// the held state at that point. Deferred statements are skipped entirely:
+// a deferred Unlock releases at return, so the lock stays held for the
+// remainder of the body.
+func (li *lockInfo) transferNode(nd ast.Node, held bool, visit func(*ast.CallExpr, bool)) bool {
+	ast.Inspect(nd, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if field, method, ok := recvFieldCall(c, li.recvName); ok && li.guarded.mutexes[field] {
+				switch method {
+				case "Lock", "RLock":
+					held = true
+				case "Unlock", "RUnlock":
+					held = false
+				}
+				return true
+			}
+			if visit != nil {
+				visit(c, held)
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// simMutatorCall matches a call of a heap-mutating des.Simulator method on
+// any *des.Simulator-typed expression — the receiver field, a local alias,
+// a parameter — unlike heaplock's stricter recv.field.method syntax.
+func simMutatorCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !heapMutators[sel.Sel.Name] {
+		return "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if named.Obj().Pkg().Path() == desPath && named.Obj().Name() == "Simulator" {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}

@@ -32,7 +32,13 @@ import (
 var ObsNilSafe = &Analyzer{
 	Name: "obsnilsafe",
 	Doc:  "obs metrics and health engines must come from their constructors and be held by pointer",
-	Run:  runObsNilSafe,
+	Contract: `obs guarded types (Registry metrics, health.Engine, journal
+Journal/Lane) rely on nil-receiver no-ops for zero-cost disablement, so
+they must be obtained from their constructors and held only as pointers:
+no composite literals, no new(T), no value-typed fields or copies —
+any of which bypasses the nil-safety contract and panics or splits state.
+Example fixture: internal/analyzers/testdata/src/obsnilsafe/bad/bad.go`,
+	Run: runObsNilSafe,
 }
 
 const (

@@ -29,7 +29,15 @@ import (
 var SimDeterminism = &Analyzer{
 	Name: "simdeterminism",
 	Doc:  "ban wall-clock, math/rand, and map-ordered output in simulation packages",
-	Run:  runSimDeterminism,
+	Contract: `Packages in the deterministic scope (dcnr/internal/des,
+dcnr/internal/simrand, and anything importing them) must not call
+time.Now/Since/Until/Sleep/timers, must not import math/rand or
+math/rand/v2 (use dcnr/internal/simrand), and must not emit output in map
+iteration order (append-without-sort, fmt prints, channel sends inside a
+range over a map). Syntactic and per-function; its inter-procedural
+successor is simtaint, which follows the value instead of the call site.
+Example fixture: internal/analyzers/testdata/src/simdeterminism/bad/bad.go`,
+	Run: runSimDeterminism,
 }
 
 // simPackages are the roots of the deterministic scope: the DES kernel and

@@ -1,0 +1,3 @@
+module hotallocmod
+
+go 1.24

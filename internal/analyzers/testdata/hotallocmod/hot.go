@@ -1,0 +1,40 @@
+// Package hotallocmod is the hotalloc golden fixture: a standalone module
+// (the analyzer shells out to `go build`, so it needs a real buildable
+// module) with one escaping hot region, one clean one, one unannotated
+// allocator, and one allowed escape.
+package hotallocmod
+
+// BadHot violates its annotation: returning the pointer forces the
+// allocation onto the heap, and the compiler says so.
+//
+//hot:noalloc
+func BadHot() *int {
+	x := new(int)
+	*x = 1
+	return x
+}
+
+// GoodHot stays on the stack: pure arithmetic over a borrowed slice.
+//
+//hot:noalloc
+func GoodHot(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// ColdAlloc allocates freely — no annotation, no finding.
+func ColdAlloc(n int) []int {
+	return make([]int, n)
+}
+
+// AllowedHot documents an intentional cold-path escape inside a hot
+// region with the analyzer's escape hatch.
+//
+//hot:noalloc
+func AllowedHot() *byte {
+	b := new(byte) //lint:allow hotalloc intentional cold-path escape
+	return b
+}

@@ -1,0 +1,17 @@
+// Package iface is the call-graph fixture for interface resolution: a
+// module-defined interface with one value-receiver and one
+// pointer-receiver implementation. Run's d.Do() call must expand to both
+// concrete methods as Dynamic edges, each exactly once.
+package iface
+
+type Doer interface{ Do() }
+
+type ByValue struct{}
+
+func (ByValue) Do() {}
+
+type ByPointer struct{}
+
+func (*ByPointer) Do() {}
+
+func Run(d Doer) { d.Do() }

@@ -173,6 +173,8 @@ func (s *Simulator) SetLogger(l *slog.Logger) {
 // alloc takes a node from the free list (or grows the slab) and arms it
 // with h. The generation bump invalidates any handle still pointing at the
 // node's previous life.
+//
+//hot:noalloc
 func (s *Simulator) alloc(h Handler) (int32, uint32) {
 	var id int32
 	if n := len(s.free); n > 0 {
@@ -191,6 +193,8 @@ func (s *Simulator) alloc(h Handler) (int32, uint32) {
 
 // release marks the node consumed and returns it to the free list. The
 // caller has already read the handler out.
+//
+//hot:noalloc
 func (s *Simulator) release(id int32) {
 	nd := &s.nodes[id]
 	nd.pending = false
@@ -207,6 +211,8 @@ func (s *Simulator) release(id int32) {
 const heapAry = 4
 
 // push inserts a queue entry, sifting up with inline comparisons.
+//
+//hot:noalloc
 func (s *Simulator) push(key uint64, m slotMeta) {
 	s.heapKeys = append(s.heapKeys, key)
 	s.heapMeta = append(s.heapMeta, m)
@@ -225,6 +231,8 @@ func (s *Simulator) push(key uint64, m slotMeta) {
 }
 
 // popRoot removes the minimum entry, sifting the last entry down the hole.
+//
+//hot:noalloc
 func (s *Simulator) popRoot() {
 	n := len(s.heapKeys) - 1
 	lk, lm := s.heapKeys[n], s.heapMeta[n]
@@ -263,16 +271,25 @@ func (s *Simulator) popRoot() {
 	keys[i], meta[i] = lk, lm
 }
 
+// logFired emits the per-event debug record. Kept outside fire's
+// //hot:noalloc region: slog attribute construction allocates, and the
+// logDebug gate means this only runs with debug logging enabled.
+func (s *Simulator) logFired(seq uint64) {
+	s.logger.Debug("des event fired",
+		slog.Uint64("seq", seq),
+		slog.Int("pending", s.live),
+		obs.SimHours(s.now))
+}
+
 // fire executes one event's handler at time at, with telemetry when
 // attached.
+//
+//hot:noalloc
 func (s *Simulator) fire(at float64, seq uint64, h Handler) {
 	s.now = at
 	s.fired++
 	if s.logDebug {
-		s.logger.Debug("des event fired",
-			slog.Uint64("seq", seq),
-			slog.Int("pending", s.live),
-			obs.SimHours(s.now))
+		s.logFired(seq)
 	}
 	if s.mFired == nil && s.ring == nil {
 		h(at)
@@ -383,6 +400,8 @@ func (s *Simulator) Pending() int { return s.live }
 
 // Schedule queues h to fire at absolute time at. It returns the Handle
 // (usable with Cancel) or ErrPast if at precedes the current time.
+//
+//hot:noalloc
 func (s *Simulator) Schedule(at float64, h Handler) (Handle, error) {
 	if at < s.now || math.IsNaN(at) {
 		return Handle{}, ErrPast
@@ -396,6 +415,8 @@ func (s *Simulator) Schedule(at float64, h Handler) (Handle, error) {
 
 // After queues h to fire delay hours from now. Negative delays are clamped
 // to zero so callers can pass small jittered values safely.
+//
+//hot:noalloc
 func (s *Simulator) After(delay float64, h Handler) Handle {
 	if delay < 0 || math.IsNaN(delay) {
 		delay = 0
@@ -410,6 +431,8 @@ func (s *Simulator) After(delay float64, h Handler) Handle {
 // generation check makes such a cancel a safe no-op instead of killing the
 // wrong event). The slot itself is discarded lazily when it reaches the
 // queue root.
+//
+//hot:noalloc
 func (s *Simulator) Cancel(h Handle) bool {
 	if h.gen == 0 || h.id < 0 || int(h.id) >= len(s.nodes) {
 		return false
@@ -431,6 +454,8 @@ func (s *Simulator) Halt() { s.halted = true }
 // the halt time). Events scheduled exactly at until do fire. A NaN until
 // runs nothing: no comparison against NaN can admit an event, so the queue
 // and clock are left untouched.
+//
+//hot:noalloc
 func (s *Simulator) Run(until float64) {
 	if math.IsNaN(until) {
 		return
@@ -467,6 +492,8 @@ func (s *Simulator) Run(until float64) {
 
 // Step executes exactly one event if any is pending and reports whether
 // one fired. Ghost slots of cancelled events are discarded along the way.
+//
+//hot:noalloc
 func (s *Simulator) Step() bool {
 	s.startTelemetry()
 	for len(s.heapKeys) > 0 {

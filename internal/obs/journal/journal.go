@@ -444,6 +444,8 @@ type Lane struct {
 // Record assigns the next causal ID to r, stages it, and returns the ID
 // so the caller can parent subsequent records on it. Returns 0 on a nil
 // lane.
+//
+//hot:noalloc
 func (l *Lane) Record(r Record) ID {
 	if l == nil {
 		return 0

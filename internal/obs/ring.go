@@ -117,6 +117,8 @@ func (r *SpanRing) SetConstArg(key, value string) *SpanRing {
 // the ring's track). name indexes the SetNames table; pass -1 for the
 // ring's default name. Unused args are ignored at materialization (only
 // len(keys) args are emitted).
+//
+//hot:noalloc
 func (r *SpanRing) Record(name int32, ts, dur, a0, a1, a2 float64) {
 	if r == nil {
 		return
@@ -131,6 +133,8 @@ func (r *SpanRing) Record(name int32, ts, dur, a0, a1, a2 float64) {
 // RecordWall appends a wall-clock span measured by (start, wall),
 // positioned relative to the tracer's origin — the hot-loop replacement
 // for Begin/End that costs two plain stores instead of a map and a lock.
+//
+//hot:noalloc
 func (r *SpanRing) RecordWall(name int32, start time.Time, wall time.Duration, a0, a1, a2 float64) {
 	if r == nil {
 		return

@@ -4,20 +4,26 @@
 #
 #   1. build       - everything compiles
 #   2. vet         - stock go vet
-#   3. lint        - cmd/dcnrlint project invariants + gofmt cleanliness
-#   4. apicheck    - exported facade API matches the reviewed api.txt
-#   5. race        - full test suite under the race detector
-#   6. test-obs    - focused race pass over telemetry + instrumented paths
-#   7. bench-des   - smoke run of the DES kernel benchmarks; gates only on
+#   3. lint        - cmd/dcnrlint project invariants (per-package +
+#                    inter-procedural simtaint/lockflow, with per-analyzer
+#                    timings) + gofmt cleanliness
+#   4. lint-hot    - compiler-backed hotalloc gate: //hot:noalloc regions
+#                    must be free of heap escapes per `go build -m`
+#   5. apicheck    - exported facade API matches the reviewed api.txt
+#   6. race        - full test suite under the race detector
+#   7. test-obs    - focused race pass over telemetry + instrumented paths
+#   8. bench-des   - smoke run of the DES kernel benchmarks; gates only on
 #                    the machine-independent invariant (0 allocs/op in
 #                    steady state), not on timings
-#   8. test-health - focused race pass over the SLO engine and its wiring;
+#   9. test-health - focused race pass over the SLO engine and its wiring;
 #                    on failure an elevated-run SLO report is dumped to
 #                    health_slo_failure.json for triage
 #
-# Steps 3-5 are the layered defense for the PR-2 race class: heaplock
-# flags unlocked DES-heap scheduling statically, and the remediation
-# concurrency tests catch it dynamically under -race.
+# Steps 3-6 are the layered defense for the PR-2 race class: heaplock
+# flags unlocked DES-heap scheduling syntactically, lockflow proves the
+# inter-procedural variant (mutations hidden behind helpers reachable from
+# unlocked entry points), and the remediation concurrency tests catch it
+# dynamically under -race.
 #
 # Usage: scripts/ci.sh
 set -eu
@@ -33,6 +39,7 @@ step() {
 step build make build
 step vet make vet
 step lint make lint
+step lint-hot make lint-hot
 step apicheck make apicheck
 step race make race
 step test-obs make test-obs
