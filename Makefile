@@ -46,7 +46,7 @@ race:
 # path: lock-free metric updates and concurrent trace emission must stay
 # clean under the race detector.
 test-obs:
-	$(GO) test -race ./internal/obs/ ./internal/obs/health/ ./internal/obs/journal/ ./internal/des/ ./internal/remediation/ ./internal/monitor/ ./internal/sev/ ./internal/core/
+	$(GO) test -race ./internal/obs/ ./internal/obs/health/ ./internal/obs/journal/ ./internal/obs/timeline/ ./internal/des/ ./internal/remediation/ ./internal/monitor/ ./internal/sev/ ./internal/core/
 
 # test-health race-tests the streaming SLO engine and its end-to-end
 # wiring: the engine package itself plus the facade scenarios (elevated

@@ -17,6 +17,7 @@ import (
 	"dcnr/internal/obs"
 	"dcnr/internal/obs/health"
 	"dcnr/internal/obs/journal"
+	"dcnr/internal/obs/timeline"
 	"dcnr/internal/observe"
 	"dcnr/internal/remediation"
 	"dcnr/internal/sev"
@@ -398,11 +399,40 @@ type SEVProvenance = sev.Provenance
 // gained provenance; read it back with SEVStore.Provenance.
 func AttachJournal(store *SEVStore, x *JournalIndex) int { return sev.AttachJournal(store, x) }
 
+// Timeline turns the registry's point-in-time metrics into time series:
+// a sampler driven by the simulation clock captures registry deltas into
+// pointer-free fixed-width samples on a fixed cadence grid. A nil
+// *Timeline is a valid no-op. Pass one through
+// IntraConfig.Observe.Timeline (or SweepConfig.Timeline for per-run
+// streams) and serialize it with WriteJSONL; serve ServeHistory /
+// ServeEvents for live windowed queries and SSE deltas.
+type Timeline = timeline.Timeline
+
+// TimelineSample is one time-series point: the sample instant, the
+// series' value, and its column ordinal.
+type TimelineSample = timeline.Sample
+
+// TimelineSampler reads a fixed set of registry series on each tick and
+// records the ones that changed into a timeline lane; StartWall runs it
+// on a wall-clock ticker for servers.
+type TimelineSampler = timeline.Sampler
+
+// NewTimeline returns an empty timeline sampling on the given sim-time
+// cadence in hours; cadence <= 0 selects the default (24, one grid point
+// per simulated day).
+func NewTimeline(cadence float64) *Timeline { return timeline.New(cadence) }
+
+// NewTimelineSampler builds a sampler over reg feeding a new lane of t,
+// tracking the named counter and gauge series.
+func NewTimelineSampler(t *Timeline, lane string, reg *MetricsRegistry, counters, gauges []string) *TimelineSampler {
+	return timeline.NewSampler(t, lane, reg, counters, gauges)
+}
+
 // SweepStatus is the live campaign introspection table: a lock-free
 // per-run progress grid updated by the sweep workers. Set one on
 // SweepConfig.Status and serve SweepStatus.Handler (endpoints /campaign,
-// /campaign/events, /journal) to watch a campaign run. A nil *SweepStatus
-// is a valid no-op.
+// /campaign/events, /journal, /metrics/history) to watch a campaign run.
+// A nil *SweepStatus is a valid no-op.
 type SweepStatus = sweep.Status
 
 // SweepCampaignStatus is one point-in-time campaign snapshot: aggregate

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxPoints bounds each metric's in-memory history: enough for the widest
+// plausible sparkline many times over, tiny either way.
+const maxPoints = 600
+
+// histories accumulates per-metric sample values from the timeline's SSE
+// stream, keeping the most recent maxPoints of each.
+type histories struct {
+	mu   sync.Mutex
+	max  int
+	data map[string][]float64
+}
+
+func newHistories(max int) *histories {
+	return &histories{max: max, data: make(map[string][]float64)}
+}
+
+// add appends one sample value to metric's history, evicting the oldest
+// point once the cap is reached.
+func (h *histories) add(metric string, v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	vals := append(h.data[metric], v)
+	if len(vals) > h.max {
+		vals = vals[len(vals)-h.max:]
+	}
+	h.data[metric] = vals
+}
+
+// snapshot returns a copy of every history, so rendering never races the
+// SSE follower.
+func (h *histories) snapshot() map[string][]float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string][]float64, len(h.data))
+	for m, vals := range h.data {
+		out[m] = append([]float64(nil), vals...)
+	}
+	return out
+}
+
+// metricNames returns the history's metric names, sorted for a stable
+// render order.
+func metricNames(hist map[string][]float64) []string {
+	names := make([]string, 0, len(hist))
+	for m := range hist {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// follow consumes the timeline SSE stream at url, feeding every sample
+// into the history, reconnecting (with a fixed short backoff) until ctx is
+// canceled. Errors are absorbed: a dashboard whose history source is down
+// keeps rendering the campaign snapshot with empty sparklines.
+func (h *histories) follow(ctx context.Context, url string) {
+	for ctx.Err() == nil {
+		h.followOnce(ctx, url)
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+// followOnce holds one SSE connection open, ingesting events until the
+// stream ends or ctx is canceled.
+func (h *histories) followOnce(ctx context.Context, url string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var data []string
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case line == "":
+			h.ingest(strings.Join(data, "\n"))
+			data = data[:0]
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		}
+	}
+}
+
+// ingest parses one SSE event payload — a chunk of timeline JSONL — and
+// records every sample it carries. Unparseable lines are skipped: one
+// malformed sample must not wedge the stream.
+func (h *histories) ingest(payload string) {
+	for _, line := range strings.Split(payload, "\n") {
+		if line == "" {
+			continue
+		}
+		var s struct {
+			M string  `json:"m"`
+			V float64 `json:"v"`
+		}
+		if err := json.Unmarshal([]byte(line), &s); err != nil || s.M == "" {
+			continue
+		}
+		h.add(s.M, s.V)
+	}
+}

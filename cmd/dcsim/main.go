@@ -7,6 +7,7 @@
 //
 //	dcsim [-seed N] [-scale N] [-out DIR] [-metrics-out FILE] [-trace FILE]
 //	      [-journal FILE] [-health-out FILE]
+//	      [-timeline FILE] [-timeline-cadence HOURS]
 //	      [-log-level LEVEL] [-log-format text|json]
 //	      [-elevate-year YEAR] [-elevate-factor F]
 //
@@ -22,6 +23,13 @@
 // incident_closed), each linked to its cause by parent ID — and writes it
 // to FILE; every SEV in sevs.json then resolves to a complete causal chain
 // (load the stream back with dcnr.ReadJournal).
+//
+// With -timeline, the intra-DC run samples its core metric series on a
+// simulation-clock grid — every -timeline-cadence simulated hours (default
+// 24, one point per simulated day) — and writes the history to FILE as
+// JSONL, one {"t":H,"m":NAME,"v":V} sample per line. The sampler rides the
+// event kernel, so the file is byte-identical for a given seed and scale
+// no matter the wall-clock conditions.
 //
 // With -health-out, a streaming SLO engine follows the intra-DC run —
 // incident burn rates, MTTR degradation, alert rule transitions — and its
@@ -55,6 +63,8 @@ func main() {
 	flag.StringVar(&o.traceOut, "trace", "", "write a Chrome trace-event file to this file")
 	flag.StringVar(&o.journalOut, "journal", "", "write the causal incident journal as JSONL to this file")
 	flag.StringVar(&o.healthOut, "health-out", "", "run the SLO/health engine and write its report to this file")
+	flag.StringVar(&o.timelineOut, "timeline", "", "sample metric timelines on the simulation clock and write them as JSONL to this file")
+	flag.Float64Var(&o.timelineCadence, "timeline-cadence", 0, "timeline sampling cadence in simulated hours (default 24)")
 	flag.StringVar(&o.logLevel, "log-level", "", "enable structured logs to stderr at this level (debug, info, warn, error)")
 	flag.StringVar(&o.logFormat, "log-format", "text", "structured log format: text or json")
 	flag.IntVar(&o.elevateYear, "elevate-year", 0, "multiply intra-DC fault rates during this calendar year")
@@ -69,18 +79,20 @@ func main() {
 // options collects every dcsim knob; the zero value plus seed/scale/dir is
 // a plain uninstrumented run.
 type options struct {
-	seed          uint64
-	scale         int
-	dir           string
-	metricsOut    string
-	traceOut      string
-	journalOut    string
-	healthOut     string
-	logLevel      string
-	logFormat     string
-	elevateYear   int
-	elevateFactor float64
-	logW          io.Writer // log destination; nil means os.Stderr
+	seed            uint64
+	scale           int
+	dir             string
+	metricsOut      string
+	traceOut        string
+	journalOut      string
+	healthOut       string
+	timelineOut     string
+	timelineCadence float64
+	logLevel        string
+	logFormat       string
+	elevateYear     int
+	elevateFactor   float64
+	logW            io.Writer // log destination; nil means os.Stderr
 }
 
 func run(o options) error {
@@ -112,6 +124,10 @@ func run(o options) error {
 	if o.journalOut != "" {
 		jnl = dcnr.NewJournal()
 	}
+	var tline *dcnr.Timeline
+	if o.timelineOut != "" {
+		tline = dcnr.NewTimeline(o.timelineCadence)
+	}
 	var logger *slog.Logger
 	if o.logLevel != "" {
 		level, err := dcnr.ParseLogLevel(o.logLevel)
@@ -132,7 +148,7 @@ func run(o options) error {
 	intra, err := dcnr.SimulateIntraDC(dcnr.IntraConfig{
 		Observe: dcnr.Observe{
 			Metrics: reg, Trace: tracer, Health: health,
-			Logger: logger, Journal: jnl,
+			Logger: logger, Journal: jnl, Timeline: tline,
 		},
 		Seed: o.seed, Scale: o.scale,
 		ElevateYear: o.elevateYear, ElevateFactor: o.elevateFactor,
@@ -237,6 +253,14 @@ func run(o options) error {
 		chains := dcnr.AttachJournal(intra.Store, journalIdx)
 		fmt.Printf("journal: %d records, %d incident chains → %s\n",
 			journalIdx.Len(), chains, o.journalOut)
+	}
+
+	if o.timelineOut != "" {
+		if err := writeFile(o.timelineOut, tline.WriteJSONL); err != nil {
+			return err
+		}
+		fmt.Printf("timeline: %d samples (every %gh of sim time) → %s\n",
+			tline.Len(), tline.Cadence(), o.timelineOut)
 	}
 
 	if o.healthOut != "" {

@@ -8,6 +8,7 @@
 //	dcsweep [-seeds CSV | -seed-base N -runs N] [-scales CSV]
 //	        [-scenarios SPEC] [-workers N] [-backbone]
 //	        [-out FILE] [-runs-out FILE] [-journal FILE] [-metrics-out FILE]
+//	        [-timeline FILE] [-timeline-cadence HOURS]
 //	        [-trace FILE] [-status-addr ADDR]
 //	        [-log-level LEVEL] [-log-format text|json]
 //
@@ -35,13 +36,21 @@
 // run's section at a time with dcnr.ReadJournal). The stream is
 // byte-identical at any -workers value.
 //
+// With -timeline, every run's metric timeline — its core series sampled on
+// the simulation clock every -timeline-cadence simulated hours (default
+// 24) — is streamed to FILE in run order: a header line naming the run,
+// then one {"t":H,"m":NAME,"v":V} sample per line. The stream is
+// byte-identical at any -workers value.
+//
 // -status-addr serves live campaign introspection over HTTP while the
 // sweep runs: /campaign (a JSON snapshot — per-run state, completed/total,
-// z-score straggler flags, live cross-run p5/p95 bands), /campaign/events
-// (server-sent events, one per completed run), and /journal (the merged
-// causal-journal summary of completed runs). A failed bind is logged and
-// the campaign proceeds without introspection; the report is byte-identical
-// either way.
+// per-run resource attribution, z-score straggler flags, live cross-run
+// p5/p95 bands), /campaign/events (server-sent events, one per completed
+// run), /journal (the merged causal-journal summary of completed runs),
+// and /metrics/history (+/events) — a wall-clock timeline of the campaign's
+// sweep_* progress series, sampled once a second, as windowed JSONL and an
+// SSE delta stream. A failed bind is logged and the campaign proceeds
+// without introspection; the report is byte-identical either way.
 package main
 
 import (
@@ -55,8 +64,19 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"dcnr"
+)
+
+// sweepTimelineCounters and sweepTimelineGauges are the campaign progress
+// series the -status-addr wall timeline samples.
+var (
+	sweepTimelineCounters = []string{
+		"sweep_runs_total", "sweep_run_failures_total",
+		"sweep_faults_total", "sweep_incidents_total",
+	}
+	sweepTimelineGauges = []string{"sweep_active_workers"}
 )
 
 func main() {
@@ -71,6 +91,8 @@ func main() {
 	flag.StringVar(&o.out, "out", "sweep_report.json", "write the aggregated report to this file")
 	flag.StringVar(&o.runsOut, "runs-out", "", "stream per-run JSONL records to this file")
 	flag.StringVar(&o.journalOut, "journal", "", "stream every run's causal incident journal to this file")
+	flag.StringVar(&o.timelineOut, "timeline", "", "stream every run's metric timeline to this file as JSONL")
+	flag.Float64Var(&o.timelineCadence, "timeline-cadence", 0, "per-run timeline sampling cadence in simulated hours (default 24)")
 	flag.StringVar(&o.statusAddr, "status-addr", "", "serve live campaign status on this address (e.g. :8080) while the sweep runs")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the merged metrics snapshot of all runs to this file")
 	flag.StringVar(&o.traceOut, "trace", "", "write a Chrome trace-event file to this file")
@@ -86,23 +108,25 @@ func main() {
 // options collects every dcsweep knob; the defaults run a 16-seed baseline
 // sweep at scale 1.
 type options struct {
-	seeds      string
-	seedBase   uint64
-	runs       int
-	scales     string
-	scenarios  string
-	workers    int
-	backbone   bool
-	out        string
-	runsOut    string
-	journalOut string
-	statusAddr string
-	metricsOut string
-	traceOut   string
-	logLevel   string
-	logFormat  string
-	logW       io.Writer // log destination; nil means os.Stderr
-	stdout     io.Writer // summary destination; nil means os.Stdout
+	seeds           string
+	seedBase        uint64
+	runs            int
+	scales          string
+	scenarios       string
+	workers         int
+	backbone        bool
+	out             string
+	runsOut         string
+	journalOut      string
+	timelineOut     string
+	timelineCadence float64
+	statusAddr      string
+	metricsOut      string
+	traceOut        string
+	logLevel        string
+	logFormat       string
+	logW            io.Writer // log destination; nil means os.Stderr
+	stdout          io.Writer // summary destination; nil means os.Stdout
 }
 
 func run(o options) error {
@@ -171,6 +195,15 @@ func run(o options) error {
 		}
 		cfg.Journal = journalFile
 	}
+	var timelineFile *os.File
+	if o.timelineOut != "" {
+		timelineFile, err = os.Create(o.timelineOut)
+		if err != nil {
+			return err
+		}
+		cfg.Timeline = timelineFile
+		cfg.TimelineCadence = o.timelineCadence
+	}
 	stdout := o.stdout
 	if stdout == nil {
 		stdout = os.Stdout
@@ -186,8 +219,29 @@ func run(o options) error {
 				"addr", o.statusAddr, "err", serveErr)
 		} else {
 			defer shutdown()
+			// A wall-clock timeline of the campaign's own progress series
+			// backs /metrics/history: one sample per second for as long as
+			// the sweep runs. The series live on the campaign registry;
+			// when -metrics-out didn't make one, a private registry is
+			// installed to carry the sweep_* bookkeeping (Result.Metrics
+			// then merges but is dropped unread — the report bytes are
+			// unchanged either way).
+			sreg := reg
+			if sreg == nil {
+				sreg = dcnr.NewMetricsRegistry()
+				cfg.Observe.Metrics = sreg
+			}
+			tl := dcnr.NewTimeline(0)
+			smp := dcnr.NewTimelineSampler(tl, "wall", sreg, sweepTimelineCounters, sweepTimelineGauges)
+			status.AttachTimeline(tl)
+			// Teardown order (defers run last-in-first-out, before the
+			// shutdown above): stop the sampler, close the timeline so SSE
+			// streams end, then the server closes and joins.
+			defer tl.Close()
+			stopSampler := smp.StartWall(time.Second)
+			defer stopSampler()
 			if _, err := fmt.Fprintf(stdout,
-				"status: http://%s (/campaign, /campaign/events, /journal)\n", addr); err != nil {
+				"status: http://%s (/campaign, /campaign/events, /journal, /metrics/history)\n", addr); err != nil {
 				return err
 			}
 		}
@@ -200,6 +254,11 @@ func run(o options) error {
 	}
 	if journalFile != nil {
 		if err := journalFile.Close(); err != nil && sweepErr == nil {
+			sweepErr = err
+		}
+	}
+	if timelineFile != nil {
+		if err := timelineFile.Close(); err != nil && sweepErr == nil {
 			sweepErr = err
 		}
 	}
@@ -239,6 +298,11 @@ func run(o options) error {
 	}
 	if o.journalOut != "" {
 		if _, err := fmt.Fprintf(stdout, "journal: %s\n", o.journalOut); err != nil {
+			return err
+		}
+	}
+	if o.timelineOut != "" {
+		if _, err := fmt.Fprintf(stdout, "timeline: %s\n", o.timelineOut); err != nil {
 			return err
 		}
 	}

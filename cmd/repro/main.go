@@ -25,8 +25,10 @@
 // alert rule is firing, 503 otherwise), /slo (the streaming health engine's
 // full JSON report), /journal (the causal incident journal's summary —
 // lifecycle counts and per-device-type MTTR phase decomposition, live as
-// the intra-DC dataset builds), and /debug/pprof/ (the standard profiling
-// endpoints).
+// the intra-DC dataset builds), /metrics/history (the wall-clock metric
+// timeline as JSONL, windowable with ?from=S&to=S&metric=NAME), its SSE
+// companion /metrics/history/events (new sample blocks as they flush), and
+// /debug/pprof/ (the standard profiling endpoints).
 // -trace records a Chrome trace-event file
 // covering the simulation's hot paths and every analysis task, loadable in
 // chrome://tracing or Perfetto.
@@ -50,6 +52,7 @@ import (
 	"time"
 
 	"dcnr"
+	"dcnr/internal/faults"
 	"dcnr/internal/report"
 	"dcnr/internal/service"
 	"dcnr/internal/topology"
@@ -102,13 +105,24 @@ func main() {
 		}
 		d.health = eng
 		d.journal = dcnr.NewJournal()
-		shutdown, addr, err := startMetricsServer(*metricsAddr, d.metrics, d.health, d.journal)
+		// A wall-clock timeline of the simulation's core series backs
+		// /metrics/history: one sample per second of wall time, for as
+		// long as the run lasts.
+		tl := dcnr.NewTimeline(0)
+		smp := dcnr.NewTimelineSampler(tl, "wall", d.metrics, faults.TimelineCounters, faults.TimelineGauges)
+		shutdown, addr, err := startMetricsServer(*metricsAddr, d.metrics, d.health, d.journal, tl)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "repro:", err)
 			os.Exit(1)
 		}
+		// Teardown order (defers run last-in-first-out): stop the sampler,
+		// close the timeline so SSE streams end, then close the server and
+		// join its goroutine.
 		defer shutdown()
-		fmt.Fprintf(os.Stderr, "repro: introspection on http://%s (/debug/vars, /metrics, /healthz, /slo, /journal, /debug/pprof/)\n", addr)
+		defer tl.Close()
+		stopSampler := smp.StartWall(time.Second)
+		defer stopSampler()
+		fmt.Fprintf(os.Stderr, "repro: introspection on http://%s (/debug/vars, /metrics, /healthz, /slo, /journal, /metrics/history, /debug/pprof/)\n", addr)
 	}
 	if *traceOut != "" {
 		d.trace = dcnr.NewTracer()
@@ -152,11 +166,14 @@ var (
 // /healthz and /slo (the SLO engine's liveness verdict and full JSON
 // report; eng may be nil, which reads as permanently healthy), /journal
 // (the causal journal's summary; jnl may be nil, which reads as an empty
-// journal), and /debug/pprof/ (the net/http/pprof endpoints). It returns
-// a shutdown function that stops the server AND joins the serving
-// goroutine — callers must invoke it so no goroutine outlives the run —
-// plus the bound address so callers can pass ":0" and discover the port.
-func startMetricsServer(addr string, reg *dcnr.MetricsRegistry, eng *dcnr.HealthEngine, jnl *dcnr.Journal) (func(), string, error) {
+// journal), /metrics/history and /metrics/history/events (the attached
+// timeline's windowed JSONL history and SSE delta stream; tl may be nil,
+// which serves empty histories), and /debug/pprof/ (the net/http/pprof
+// endpoints). It returns a shutdown function that stops the server AND
+// joins the serving goroutine — callers must invoke it so no goroutine
+// outlives the run — plus the bound address so callers can pass ":0" and
+// discover the port.
+func startMetricsServer(addr string, reg *dcnr.MetricsRegistry, eng *dcnr.HealthEngine, jnl *dcnr.Journal, tl *dcnr.Timeline) (func(), string, error) {
 	publishedRegistry.Store(reg)
 	publishOnce.Do(func() {
 		expvar.Publish("dcnr", expvar.Func(func() any {
@@ -213,6 +230,8 @@ func startMetricsServer(addr string, reg *dcnr.MetricsRegistry, eng *dcnr.Health
 		// hang-up, not ours.
 		_, _ = w.Write(append(data, '\n'))
 	})
+	mux.HandleFunc("/metrics/history", tl.ServeHistory)
+	mux.HandleFunc("/metrics/history/events", tl.ServeEvents)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -105,7 +105,11 @@ func TestMetricsServerEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	shutdown, addr, err := startMetricsServer("127.0.0.1:0", reg, eng, dcnr.NewJournal())
+	tl := dcnr.NewTimeline(0)
+	smp := dcnr.NewTimelineSampler(tl, "wall", reg, []string{"repro_test_total"}, nil)
+	smp.Sample(1)
+	smp.Flush()
+	shutdown, addr, err := startMetricsServer("127.0.0.1:0", reg, eng, dcnr.NewJournal(), tl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,12 +166,20 @@ func TestMetricsServerEndpoints(t *testing.T) {
 		t.Errorf("/journal reports %d records for an idle journal", jsum.Records)
 	}
 
+	// /metrics/history serves the attached timeline's samples as JSONL.
+	if body := get("/metrics/history"); !strings.Contains(body, `{"t":1,"m":"repro_test_total","v":7}`) {
+		t.Errorf("/metrics/history missing timeline sample:\n%s", body)
+	}
+	if body := get("/metrics/history?metric=no_such_series"); strings.TrimSpace(body) != "" {
+		t.Errorf("/metrics/history filter leaked samples:\n%s", body)
+	}
+
 	// A second server (tests and reruns) re-points the shared expvar at
 	// the new registry instead of panicking on a duplicate publish. A nil
 	// engine reads as permanently healthy.
 	reg2 := dcnr.NewMetricsRegistry()
 	reg2.Counter("repro_second_total").Inc()
-	shutdown2, addr2, err := startMetricsServer("127.0.0.1:0", reg2, nil, nil)
+	shutdown2, addr2, err := startMetricsServer("127.0.0.1:0", reg2, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,14 +187,26 @@ func TestMetricsServerEndpoints(t *testing.T) {
 	if body := get("/metrics"); !strings.Contains(body, "repro_second_total") {
 		t.Errorf("first server still exposing old registry after re-publish:\n%s", body)
 	}
-	_ = addr2
+	// A nil timeline serves an empty (but 200) history.
+	resp, err := http.Get("http://" + addr2 + "/metrics/history")
+	if err != nil {
+		t.Fatalf("GET nil-timeline /metrics/history: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET nil-timeline /metrics/history: status %d, err %v", resp.StatusCode, err)
+	}
+	if strings.TrimSpace(string(body)) != "" {
+		t.Errorf("nil-timeline /metrics/history not empty:\n%s", body)
+	}
 }
 
 // TestMetricsServerShutdownJoins pins the server lifecycle: shutdown
 // returns only after the serving goroutine has exited, and the port is
 // actually released — no goroutine or listener outlives the call.
 func TestMetricsServerShutdownJoins(t *testing.T) {
-	shutdown, addr, err := startMetricsServer("127.0.0.1:0", dcnr.NewMetricsRegistry(), nil, nil)
+	shutdown, addr, err := startMetricsServer("127.0.0.1:0", dcnr.NewMetricsRegistry(), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

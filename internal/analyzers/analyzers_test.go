@@ -18,7 +18,8 @@ import (
 // checker, so fixtures type-check exactly like real code.
 var fixtureDeps = []string{
 	"dcnr/internal/des", "dcnr/internal/obs", "dcnr/internal/obs/health",
-	"dcnr/internal/obs/journal", "dcnr/internal/sev", "dcnr/internal/simrand",
+	"dcnr/internal/obs/journal", "dcnr/internal/obs/timeline",
+	"dcnr/internal/sev", "dcnr/internal/simrand",
 	"bytes", "fmt", "io", "log/slog", "math/rand", "net", "os", "sort",
 	"sync", "time",
 }
@@ -149,24 +150,31 @@ func TestObsNilSafeBadFixture(t *testing.T) {
 	pkg := loadFixture(t, "obsnilsafe/bad")
 	diags := pkg.Analyze([]*Analyzer{ObsNilSafe})
 	assertDiags(t, diags, []string{
-		"bad.go:11:2 obsnilsafe",          // field of value type obs.Counter
-		"bad.go:17:6 obsnilsafe",          // obs.Registry{} composite literal
-		"bad.go:18:7 obsnilsafe",          // new(obs.Histogram)
-		"bad.go:20:10 obsnilsafe",         // &obs.Gauge{} composite literal
-		"bad.go:24:13 obsnilsafe",         // parameter of value type obs.Histogram
-		"bad_health.go:10:2 obsnilsafe",   // field of value type health.Engine
-		"bad_health.go:15:6 obsnilsafe",   // health.Engine{} composite literal
-		"bad_health.go:16:9 obsnilsafe",   // new(health.Engine)
-		"bad_journal.go:10:2 obsnilsafe",  // field of value type journal.Journal
-		"bad_journal.go:15:6 obsnilsafe",  // journal.Journal{} composite literal
-		"bad_journal.go:16:9 obsnilsafe",  // new(journal.Journal)
-		"bad_journal.go:20:17 obsnilsafe", // parameter of value type journal.Lane
+		"bad.go:11:2 obsnilsafe",           // field of value type obs.Counter
+		"bad.go:17:6 obsnilsafe",           // obs.Registry{} composite literal
+		"bad.go:18:7 obsnilsafe",           // new(obs.Histogram)
+		"bad.go:20:10 obsnilsafe",          // &obs.Gauge{} composite literal
+		"bad.go:24:13 obsnilsafe",          // parameter of value type obs.Histogram
+		"bad_health.go:10:2 obsnilsafe",    // field of value type health.Engine
+		"bad_health.go:15:6 obsnilsafe",    // health.Engine{} composite literal
+		"bad_health.go:16:9 obsnilsafe",    // new(health.Engine)
+		"bad_journal.go:10:2 obsnilsafe",   // field of value type journal.Journal
+		"bad_journal.go:15:6 obsnilsafe",   // journal.Journal{} composite literal
+		"bad_journal.go:16:9 obsnilsafe",   // new(journal.Journal)
+		"bad_journal.go:20:17 obsnilsafe",  // parameter of value type journal.Lane
+		"bad_timeline.go:10:2 obsnilsafe",  // field of value type timeline.Timeline
+		"bad_timeline.go:15:6 obsnilsafe",  // timeline.Timeline{} composite literal
+		"bad_timeline.go:16:9 obsnilsafe",  // new(timeline.Timeline)
+		"bad_timeline.go:20:25 obsnilsafe", // parameter of value type timeline.Lane
 	})
 	if !diagsMention(diags, "health.New") {
 		t.Errorf("engine diagnostics should point at health.New: %q", diagKeys(diags))
 	}
 	if !diagsMention(diags, "journal.New") {
 		t.Errorf("journal diagnostics should point at journal.New: %q", diagKeys(diags))
+	}
+	if !diagsMention(diags, "timeline.New") {
+		t.Errorf("timeline diagnostics should point at timeline.New: %q", diagKeys(diags))
 	}
 }
 

@@ -13,27 +13,33 @@ import (
 // constructor that validates rules and wires state. The causal journal
 // follows suit: a nil *journal.Journal (and the nil *journal.Lane it hands
 // out) drops records for free, and journal.New is the only way to get a
-// journal whose lanes share one ID counter. Violations this catches:
+// journal whose lanes share one ID counter. The timeline sampler is the
+// same shape again: a nil *timeline.Timeline (and the nil *timeline.Lane
+// it hands out) records nothing, and timeline.New is the only constructor
+// that wires the column table and staging rings. Violations this catches:
 //
 //   - constructing obs.Counter/Gauge/Histogram/Registry/Tracer,
-//     health.Engine, or journal.Journal/Lane with a composite literal or
-//     new(): a hand-rolled metric is invisible to every exposition path
-//     (Snapshot, expvar, Prometheus), a zero-value Registry panics on
-//     first use, a zero-value Engine skips rule validation, and a
-//     hand-rolled Journal mints colliding causal IDs.
+//     health.Engine, journal.Journal/Lane, or timeline.Timeline/Lane with
+//     a composite literal or new(): a hand-rolled metric is invisible to
+//     every exposition path (Snapshot, expvar, Prometheus), a zero-value
+//     Registry panics on first use, a zero-value Engine skips rule
+//     validation, a hand-rolled Journal mints colliding causal IDs, and a
+//     hand-rolled Timeline has no column table for its lanes to stage
+//     into.
 //   - declaring a field, variable, or parameter of value (non-pointer)
 //     guarded type: copying the embedded atomics/mutexes forks the state,
 //     and a value can never be the nil no-op that uninstrumented runs rely
 //     on.
 //
 // obs.Event, the snapshot types, health's plain-data types (Targets,
-// Rule, SLOReport), and journal's plain-data types (Record, Index,
-// Summary) stay unrestricted.
+// Rule, SLOReport), journal's plain-data types (Record, Index, Summary),
+// and timeline.Sample stay unrestricted.
 var ObsNilSafe = &Analyzer{
 	Name: "obsnilsafe",
 	Doc:  "obs metrics and health engines must come from their constructors and be held by pointer",
 	Contract: `obs guarded types (Registry metrics, health.Engine, journal
-Journal/Lane) rely on nil-receiver no-ops for zero-cost disablement, so
+Journal/Lane, timeline Timeline/Lane) rely on nil-receiver no-ops for
+zero-cost disablement, so
 they must be obtained from their constructors and held only as pointers:
 no composite literals, no new(T), no value-typed fields or copies —
 any of which bypasses the nil-safety contract and panics or splits state.
@@ -42,21 +48,24 @@ Example fixture: internal/analyzers/testdata/src/obsnilsafe/bad/bad.go`,
 }
 
 const (
-	obsPath     = "dcnr/internal/obs"
-	healthPath  = "dcnr/internal/obs/health"
-	journalPath = "dcnr/internal/obs/journal"
+	obsPath      = "dcnr/internal/obs"
+	healthPath   = "dcnr/internal/obs/health"
+	journalPath  = "dcnr/internal/obs/journal"
+	timelinePath = "dcnr/internal/obs/timeline"
 )
 
 // obsGuardedTypes are the types with construction and copy rules, per
 // package. Constructors: Registry methods for metrics, NewRegistry,
-// NewTracer, health.New, journal.New (lanes only via Journal.Lane).
+// NewTracer, health.New, journal.New (lanes only via Journal.Lane),
+// timeline.New (lanes only via Timeline.Lane).
 var obsGuardedTypes = map[string]map[string]bool{
 	obsPath: {
 		"Counter": true, "Gauge": true, "Histogram": true,
 		"Registry": true, "Tracer": true,
 	},
-	healthPath:  {"Engine": true},
-	journalPath: {"Journal": true, "Lane": true},
+	healthPath:   {"Engine": true},
+	journalPath:  {"Journal": true, "Lane": true},
+	timelinePath: {"Timeline": true, "Lane": true},
 }
 
 // isObsGuarded reports whether t is a guarded type, returning its
@@ -128,6 +137,10 @@ func obsConstructor(name string) string {
 		return "journal.New"
 	case "journal.Lane":
 		return "Journal.Lane"
+	case "timeline.Timeline":
+		return "timeline.New"
+	case "timeline.Lane":
+		return "Timeline.Lane"
 	}
 	return "Registry." + name[len("obs."):]
 }

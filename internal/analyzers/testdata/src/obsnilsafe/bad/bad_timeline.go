@@ -1,0 +1,20 @@
+// Hand-rolled timelines: only timeline.New wires the column table and
+// staging rings, and only a pointer can be the nil no-op sampler.
+package bad
+
+import "dcnr/internal/obs/timeline"
+
+// Dashboard holds a timeline by value: copying forks the column table
+// and the staging rings behind the merged sample view.
+type Dashboard struct {
+	history timeline.Timeline
+}
+
+// HiddenTimeline builds timelines that bypass the constructor.
+func HiddenTimeline() *timeline.Timeline {
+	_ = timeline.Timeline{}
+	return new(timeline.Timeline)
+}
+
+// CopiedTimelineLane takes a lane by value, forking its staging ring.
+func CopiedTimelineLane(l timeline.Lane) {}

@@ -121,6 +121,15 @@ type Simulator struct {
 	// can publish their staged tails whenever the kernel publishes its
 	// own. See AddSyncHook.
 	syncHooks []func()
+
+	// Sampling hook (SetSampleHook): sampleFn is invoked at every
+	// multiple of sampleEvery the clock crosses, with the grid time —
+	// the timeline sampler's cadence driver. sampleNext is the first
+	// grid point not yet sampled; a nil sampleFn costs the hot loop one
+	// pointer check per event.
+	sampleEvery float64
+	sampleNext  float64
+	sampleFn    func(now float64)
 }
 
 // metricsFlushMask throttles shared-metric publication: the fired counter,
@@ -281,6 +290,39 @@ func (s *Simulator) logFired(seq uint64) {
 		obs.SimHours(s.now))
 }
 
+// SetSampleHook registers fn to run each time the simulation clock
+// reaches or crosses a multiple of period (in hours), called with the
+// grid time k·period rather than the event time — so sampled series land
+// on a fixed cadence grid, deterministic for a fixed seed no matter how
+// events fall between grid points. The hook runs on the simulation
+// goroutine, from inside the event loop, before the crossing event's
+// handler: it must not allocate, not schedule, and not read the wall
+// clock (the timeline sampler is the intended caller). Periods ≤ 0 or a
+// nil fn detach the hook.
+//
+// Grid points are only visited when an event crosses them: a quiet
+// stretch with no events samples nothing, which is exactly right for
+// delta-style samplers — with no events, no instrumented value changed.
+func (s *Simulator) SetSampleHook(period float64, fn func(now float64)) {
+	if fn == nil || !(period > 0) {
+		s.sampleFn = nil
+		return
+	}
+	s.sampleEvery = period
+	s.sampleNext = (math.Floor(s.now/period) + 1) * period
+	s.sampleFn = fn
+}
+
+// runSamples visits every unsampled grid point up to at, in order.
+//
+//hot:noalloc
+func (s *Simulator) runSamples(at float64) {
+	for s.sampleNext <= at {
+		s.sampleFn(s.sampleNext)
+		s.sampleNext += s.sampleEvery
+	}
+}
+
 // fire executes one event's handler at time at, with telemetry when
 // attached.
 //
@@ -288,6 +330,9 @@ func (s *Simulator) logFired(seq uint64) {
 func (s *Simulator) fire(at float64, seq uint64, h Handler) {
 	s.now = at
 	s.fired++
+	if s.sampleFn != nil && at >= s.sampleNext {
+		s.runSamples(at)
+	}
 	if s.logDebug {
 		s.logFired(seq)
 	}
@@ -537,6 +582,9 @@ func (s *Simulator) Reset() {
 	s.seq = 0
 	s.fired = 0
 	s.halted = false
+	if s.sampleFn != nil {
+		s.sampleNext = s.sampleEvery
+	}
 }
 
 // Every schedules h to fire repeatedly with the given period, starting at

@@ -553,3 +553,63 @@ func TestScheduleCancelInterleavingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSampleHookGridCrossing(t *testing.T) {
+	var s Simulator
+	var grid []float64
+	s.SetSampleHook(10, func(now float64) { grid = append(grid, now) })
+	for _, at := range []float64{3, 9.5, 21, 45, 45.5} {
+		if _, err := s.Schedule(at, func(float64) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(100)
+	// The event at 21 crosses grid points 10 and 20; 45 crosses 30 and 40.
+	want := []float64{10, 20, 30, 40}
+	if len(grid) != len(want) {
+		t.Fatalf("grid samples = %v, want %v", grid, want)
+	}
+	for i := range want {
+		if grid[i] != want[i] {
+			t.Fatalf("grid samples = %v, want %v", grid, want)
+		}
+	}
+}
+
+func TestSampleHookDetachAndReset(t *testing.T) {
+	var s Simulator
+	calls := 0
+	s.SetSampleHook(5, func(float64) { calls++ })
+	s.Schedule(7, func(float64) {})
+	s.Run(10)
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	s.Reset()
+	s.Schedule(6, func(float64) {})
+	s.Run(10)
+	if calls != 2 {
+		t.Fatalf("after Reset: calls = %d, want 2 (grid restarts at period)", calls)
+	}
+	s.SetSampleHook(0, nil)
+	s.Schedule(11, func(float64) {})
+	s.Run(20)
+	if calls != 2 {
+		t.Fatalf("after detach: calls = %d, want 2", calls)
+	}
+}
+
+func TestSampleHookMidRunAttach(t *testing.T) {
+	var s Simulator
+	s.Schedule(12, func(float64) {})
+	s.Run(15) // clock at 15
+	var grid []float64
+	s.SetSampleHook(10, func(now float64) { grid = append(grid, now) })
+	s.Schedule(19, func(float64) {})
+	s.Schedule(21, func(float64) {})
+	s.Run(30)
+	// First grid point strictly after attach time 15 is 20.
+	if len(grid) != 1 || grid[0] != 20 {
+		t.Fatalf("grid = %v, want [20]", grid)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"dcnr/internal/obs"
 	"dcnr/internal/obs/health"
 	"dcnr/internal/obs/journal"
+	"dcnr/internal/obs/timeline"
 	"dcnr/internal/observe"
 	"dcnr/internal/remediation"
 	"dcnr/internal/service"
@@ -112,6 +113,11 @@ type Driver struct {
 	// ticket→repair middle of each chain on its own lane. Nil is a no-op.
 	jlane   *journal.Lane
 	jhooked bool
+	// tsampler feeds the attached metrics timeline on the kernel's
+	// cadence grid; flushed at every simulator sync point. Nil is a
+	// no-op.
+	tsampler *timeline.Sampler
+	thooked  bool
 	// classShares caches remediation.ClassShares() — the weights are
 	// constants, and fetching a fresh slice per fault was a measurable
 	// share of the schedule loop's allocations.
@@ -210,16 +216,70 @@ func (d *Driver) SetJournal(j *journal.Journal) {
 	}
 }
 
+// TimelineCounters and TimelineGauges name the registry series an
+// intra-DC timeline tracks by default: the DES kernel's event counter,
+// the remediation plane's ticket flow and queue, and the health engine's
+// incident/transition counters. All are driven purely by simulation
+// events, so their sampled series are deterministic for a fixed seed
+// (wall-clock histograms are deliberately absent). The sampler resolves
+// them get-or-create: a series its run never touches simply records
+// nothing.
+var (
+	TimelineCounters = []string{
+		"des_events_fired_total",
+		"remediation_submitted_total",
+		"remediation_repaired_total",
+		"remediation_escalated_total",
+		"health_incidents_total",
+		"health_transitions_total",
+	}
+	TimelineGauges = []string{
+		"des_queue_depth",
+		"remediation_queue_depth",
+		"health_rules_firing",
+	}
+)
+
+// SetTimeline attaches a metrics timeline sampling reg's series on the
+// timeline's cadence grid, timed by the DES clock: the driver registers a
+// kernel sample hook (called at each crossed multiple of the cadence)
+// and flushes the staged samples at every simulator sync point. Sampling
+// reads only event-driven series and no wall clock, so an attached
+// timeline never changes the generated dataset. Call before Run; a nil
+// timeline (or nil registry) detaches.
+func (d *Driver) SetTimeline(tl *timeline.Timeline, reg *obs.Registry) {
+	if tl == nil || reg == nil {
+		d.tsampler = nil
+		d.sim.SetSampleHook(0, nil)
+		return
+	}
+	d.tsampler = timeline.NewSampler(tl, "intra", reg, TimelineCounters, TimelineGauges)
+	d.sim.SetSampleHook(tl.Cadence(), d.tsampler.Sample)
+	if !d.thooked {
+		// One hook per driver even if the timeline is swapped: the
+		// closure reads the current sampler field.
+		d.thooked = true
+		d.sim.AddSyncHook(func() { d.tsampler.Flush() })
+	}
+}
+
 // Observe wires a whole observability bundle in one call: Instrument with
 // the registry and tracer, SetHealth (plus health-engine instrumentation)
-// when a health engine is present, and SetLogger when a logger is present.
-// Each sink is guarded on its own nil check — attaching a logger without a
-// health engine, or a health engine without metrics, wires exactly the
-// sinks that exist. Call before Run.
+// when a health engine is present, SetLogger when a logger is present,
+// and SetJournal / SetTimeline for the streaming recorders. Each sink is
+// guarded on its own nil check — attaching a logger without a health
+// engine, or a health engine without metrics, wires exactly the sinks
+// that exist. A timeline without a registry gets a private one: the
+// sampler needs instrumented series to read, but the caller shouldn't
+// have to ask for metrics output just to get history. Call before Run.
 func (d *Driver) Observe(o observe.Observe) {
-	d.Instrument(o.Metrics, o.Trace)
+	reg := o.Metrics
+	if reg == nil && o.Timeline != nil {
+		reg = obs.NewRegistry()
+	}
+	d.Instrument(reg, o.Trace)
 	if o.Health != nil {
-		o.Health.Instrument(o.Metrics)
+		o.Health.Instrument(reg)
 		d.SetHealth(o.Health)
 	}
 	if o.Logger != nil {
@@ -230,6 +290,9 @@ func (d *Driver) Observe(o observe.Observe) {
 	}
 	if o.Journal != nil {
 		d.SetJournal(o.Journal)
+	}
+	if o.Timeline != nil {
+		d.SetTimeline(o.Timeline, reg)
 	}
 }
 
@@ -290,6 +353,7 @@ func (d *Driver) Run(from, to int) (*sev.Store, error) {
 	// journal records still staged in the driver's lane.
 	d.Engine.FlushTrace()
 	d.jlane.Flush()
+	d.tsampler.Flush()
 	return d.Store, nil
 }
 

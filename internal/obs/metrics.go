@@ -26,6 +26,8 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -536,7 +538,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		cum := int64(0)
 		for i, bound := range h.Bounds {
 			cum += h.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%v", bound), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum); err != nil {
 				return err
 			}
 		}
@@ -546,4 +548,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// promFloat renders a histogram bound the way Prometheus' own exposition
+// library does: infinities as +Inf/-Inf, integral bounds with an explicit
+// ".0", and the shortest round-trippable decimal otherwise. fmt's %v would
+// render the bound 1.0 as a bare "1", which scrapers treat as a different
+// series than the "1.0" every other Prometheus client emits — bucket
+// continuity would silently break the first time a registry from this
+// package replaced one from client_golang.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
 }

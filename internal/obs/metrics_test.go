@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -150,13 +152,63 @@ func TestPrometheusExposition(t *testing.T) {
 		"des_queue_depth 7",
 		"# TYPE event_seconds histogram",
 		`event_seconds_bucket{le="0.1"} 1`,
-		`event_seconds_bucket{le="1"} 2`, // cumulative
+		`event_seconds_bucket{le="1.0"} 2`, // cumulative; integral bound gets ".0"
 		`event_seconds_bucket{le="+Inf"} 3`,
 		"event_seconds_sum 5.55",
 		"event_seconds_count 3",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusLeBoundsCanonical pins the le label format against what a
+// Prometheus scraper expects: integral bounds carry an explicit ".0" (so
+// buckets stay continuous with series written by client_golang), fractional
+// bounds are the shortest round-trippable decimal, and every value — +Inf
+// included — parses back with strconv.ParseFloat the way the exposition
+// parser does.
+func TestPrometheusLeBoundsCanonical(t *testing.T) {
+	bounds := []float64{0.005, 0.25, 1, 2.5, 10, 1e6}
+	r := NewRegistry()
+	r.Histogram("req_seconds", bounds).Observe(0.1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scrape the le values back out of the bucket lines, parser-style.
+	var got []string
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "req_seconds_bucket{le=") {
+			continue
+		}
+		quoted := strings.TrimSuffix(strings.TrimPrefix(strings.Fields(line)[0], "req_seconds_bucket{le="), "}")
+		le, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("unquoting le label in %q: %v", line, err)
+		}
+		got = append(got, le)
+	}
+	want := []string{"0.005", "0.25", "1.0", "2.5", "10.0", "1e+06", "+Inf"}
+	if len(got) != len(want) {
+		t.Fatalf("le values = %v, want %v", got, want)
+	}
+	for i, le := range got {
+		if le != want[i] {
+			t.Errorf("le[%d] = %q, want %q", i, le, want[i])
+		}
+		v, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			t.Errorf("le %q does not parse as a float: %v", le, err)
+			continue
+		}
+		if i < len(bounds) && v != bounds[i] {
+			t.Errorf("le %q parsed to %v, want bound %v", le, v, bounds[i])
+		}
+		if i == len(bounds) && !math.IsInf(v, +1) {
+			t.Errorf("le %q parsed to %v, want +Inf", le, v)
 		}
 	}
 }

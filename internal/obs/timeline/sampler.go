@@ -1,0 +1,123 @@
+package timeline
+
+import (
+	"sync"
+	"time"
+
+	"dcnr/internal/obs"
+)
+
+// column is one tracked registry series: exactly one of counter/gauge is
+// set, and last is the value at the previous sample so unchanged series
+// record nothing.
+type column struct {
+	col     int32
+	counter *obs.Counter
+	gauge   *obs.Gauge
+	last    float64
+}
+
+// Sampler reads a fixed set of registry series on each tick and records
+// the ones that changed into one timeline lane. Construct with
+// NewSampler; a nil *Sampler is a valid no-op, and the tracked series are
+// resolved once at construction so a tick costs one atomic load per
+// column and nothing else.
+type Sampler struct {
+	lane *Lane
+	cols []column
+}
+
+// NewSampler builds a sampler over reg feeding a new lane of t. The
+// counters and gauges slices name the registry series to track (resolved
+// get-or-create, so a series that never fires simply never records).
+// Returns nil — a valid no-op — when t or reg is nil.
+func NewSampler(t *Timeline, lane string, reg *obs.Registry, counters, gauges []string) *Sampler {
+	if t == nil || reg == nil {
+		return nil
+	}
+	s := &Sampler{lane: t.Lane(lane)}
+	for _, name := range counters {
+		s.cols = append(s.cols, column{col: t.Column(name), counter: reg.Counter(name)})
+	}
+	for _, name := range gauges {
+		s.cols = append(s.cols, column{col: t.Column(name), gauge: reg.Gauge(name)})
+	}
+	return s
+}
+
+// Sample records every tracked series whose value changed since the last
+// call, stamped with now (simulation hours on the DES grid, wall seconds
+// from StartWall). Single-writer like the lane it feeds; no-op on a nil
+// sampler.
+//
+//hot:noalloc
+func (s *Sampler) Sample(now float64) {
+	if s == nil {
+		return
+	}
+	for i := range s.cols {
+		c := &s.cols[i]
+		var v float64
+		if c.counter != nil {
+			v = float64(c.counter.Value())
+		} else {
+			v = c.gauge.Value()
+		}
+		if v == c.last {
+			continue
+		}
+		c.last = v
+		s.lane.Record(c.col, now, v)
+	}
+}
+
+// Flush publishes the lane's staged samples — registered as a simulator
+// sync hook by the wiring layer, so staged samples become reader-visible
+// exactly when the kernel's own staged telemetry does.
+func (s *Sampler) Flush() {
+	if s == nil {
+		return
+	}
+	s.lane.Flush()
+}
+
+// StartWall starts a wall-clock sampling loop for servers: every period,
+// the sampler ticks with T = seconds since the loop started and flushes,
+// so HTTP history readers and SSE subscribers see fresh points each
+// period. The returned stop function (idempotent, safe on a nil sampler)
+// ends the loop, takes a final sample, and flushes.
+func (s *Sampler) StartWall(period time.Duration) (stop func()) {
+	if s == nil {
+		return func() {}
+	}
+	if period <= 0 {
+		period = time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tk := time.NewTicker(period)
+		defer tk.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tk.C:
+				s.Sample(now.Sub(start).Seconds())
+				s.Flush()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			s.Sample(time.Since(start).Seconds())
+			s.Flush()
+		})
+	}
+}

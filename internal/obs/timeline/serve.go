@@ -1,0 +1,186 @@
+package timeline
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// publish encodes a freshly-flushed block and fans it out to every SSE
+// subscriber. Sends are non-blocking: a subscriber that stopped draining
+// loses deltas rather than stalling the producer. Cold path — one call
+// per flushed block, nothing when nobody subscribed.
+func (t *Timeline) publish(blk []Sample) {
+	if t == nil {
+		return
+	}
+	t.subMu.Lock()
+	defer t.subMu.Unlock()
+	if len(t.subs) == 0 {
+		return
+	}
+	enc := encoder{cols: t.columns()}
+	buf := make([]byte, 0, 64*len(blk))
+	for _, s := range blk {
+		buf = enc.appendSample(buf, s)
+	}
+	for _, ch := range t.subs {
+		select {
+		case ch <- buf:
+		default:
+		}
+	}
+}
+
+// Close marks the timeline's stream over: every SSE subscriber channel
+// closes, so streaming handlers return. Recording and history reads stay
+// valid after Close; only the live delta feed ends.
+func (t *Timeline) Close() {
+	if t == nil {
+		return
+	}
+	t.subMu.Lock()
+	defer t.subMu.Unlock()
+	t.closed = true
+	for _, ch := range t.subs {
+		close(ch)
+	}
+	t.subs = nil
+}
+
+// Subscribe registers a live-delta subscriber: each flushed block arrives
+// as one JSONL chunk. The channel closes when the timeline is Closed
+// (immediately if it already is); cancel must be called when the
+// subscriber goes away.
+func (t *Timeline) Subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, 16)
+	if t == nil {
+		close(ch)
+		return ch, func() {}
+	}
+	t.subMu.Lock()
+	defer t.subMu.Unlock()
+	if t.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	id := t.nextSub
+	t.nextSub++
+	if t.subs == nil {
+		t.subs = make(map[int]chan []byte)
+	}
+	t.subs[id] = ch
+	return ch, func() {
+		t.subMu.Lock()
+		defer t.subMu.Unlock()
+		if _, ok := t.subs[id]; ok {
+			delete(t.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// ServeHistory answers a windowed history query with JSONL, one sample
+// per line in the canonical merged order. Query parameters:
+//
+//	from, to  inclusive time bounds (defaults: the whole history)
+//	metric    restrict to one series name
+//
+// A nil timeline (or a malformed bound) serves an empty body / 400 rather
+// than panicking, so handlers can be mounted unconditionally.
+func (t *Timeline) ServeHistory(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if t == nil {
+		return
+	}
+	from, to := math.Inf(-1), math.Inf(1)
+	if s := r.URL.Query().Get("from"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		from = v
+	}
+	if s := r.URL.Query().Get("to"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			http.Error(w, "bad to: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		to = v
+	}
+	enc := encoder{cols: t.columns()}
+	buf := make([]byte, 0, 1<<14)
+	for _, s := range t.Window(from, to, r.URL.Query().Get("metric")) {
+		buf = enc.appendSample(buf, s)
+		if len(buf) >= 1<<14-128 {
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		// The write error is consciously dropped after the header went
+		// out — a client that hung up mid-response is its own problem.
+		if _, err := w.Write(buf); err != nil {
+			return
+		}
+	}
+}
+
+// ServeEvents streams flushed sample blocks as server-sent events: each
+// event's data is the block's JSONL (one sample per data line). The
+// stream ends when the timeline is Closed or the client goes away. A nil
+// timeline ends the stream immediately.
+func (t *Timeline) ServeEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	ch, cancel := t.Subscribe()
+	defer cancel()
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case chunk, ok := <-ch:
+			if !ok {
+				return // timeline closed
+			}
+			if err := writeSSE(w, chunk); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE frames one JSONL chunk as a single SSE event: every line
+// becomes a data: line, so the client reassembles the chunk by joining
+// the event's data lines with newlines.
+func writeSSE(w http.ResponseWriter, chunk []byte) error {
+	start := 0
+	for i, b := range chunk {
+		if b != '\n' {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n", chunk[start:i]); err != nil {
+			return err
+		}
+		start = i + 1
+	}
+	if start < len(chunk) {
+		if _, err := fmt.Fprintf(w, "data: %s\n", chunk[start:]); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write([]byte("\n"))
+	return err
+}

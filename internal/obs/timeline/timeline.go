@@ -1,0 +1,422 @@
+// Package timeline turns the point-in-time metrics of internal/obs into
+// time series: a sampler driven by the simulation clock (or, for long-
+// running servers, a wall-clock ticker) captures registry deltas into
+// pointer-free fixed-width sample records, giving every run the temporal
+// structure — fault storms, remediation backlogs, burn-rate ramps — that
+// a final Snapshot flattens away. The paper's reliability numbers were
+// read off production dashboards as time series; this package is that
+// dashboard's data source.
+//
+// # Memory layout
+//
+// Samples are 24-byte pointer-free structs staged in per-lane rings — the
+// SpanRing/journal pattern from internal/obs: each Lane has a
+// single-writer staging buffer published as immutable blocks, so the hot
+// path costs a changed-value check and one struct store, never a map or
+// an encoder. Readers (WriteJSONL, Window, the HTTP handlers) see only
+// flushed blocks: a mid-run reader observes a consistent prefix of each
+// lane while writers keep recording.
+//
+// # Determinism
+//
+// Sim-time lanes are sampled on a fixed cadence grid (multiples of the
+// configured cadence, timed by the DES clock), record only when a series'
+// value changed, and read no wall clock and no randomness — so for a
+// fixed seed the serialized timeline is bit-for-bit reproducible and an
+// attached timeline never perturbs the simulation's RNG streams. Wall
+// lanes (Sampler.StartWall) are for live servers and make no determinism
+// claim.
+//
+// All methods are safe on a nil *Timeline, *Lane, and *Sampler, matching
+// the project-wide observability contract: a nil timeline is a no-op
+// costing the hot paths nothing.
+package timeline
+
+import (
+	"io"
+	"strconv"
+	"sync"
+)
+
+// DefaultCadence is the sim-time sampling cadence when none is
+// configured: one sample grid point per simulated day, matching the
+// health engine's evaluation tick.
+const DefaultCadence = 24.0
+
+// Sample is one time-series point: 24 bytes, no pointers, so a full
+// staging buffer is a single GC-free block.
+type Sample struct {
+	// T is the sample instant: simulation hours since epoch on sim-time
+	// lanes, wall seconds since sampler start on wall lanes.
+	T float64
+	// V is the series' value at T — cumulative for counters, current for
+	// gauges. Samples are recorded only when V changed, so consecutive
+	// samples of one column always differ.
+	V float64
+	// Col is the series' column ordinal (Timeline.Column).
+	Col int32
+}
+
+// laneBatch is the staging-buffer size of a lane: one publish per this
+// many samples, 6 KiB of staging per lane.
+const laneBatch = 256
+
+// Timeline owns the sample lanes and the column (series name) table.
+// Construct with New; a nil *Timeline (and every lane obtained from it)
+// is a valid no-op.
+type Timeline struct {
+	cadence float64
+
+	mu    sync.Mutex
+	lanes []*Lane
+	cols  []string
+	colID map[string]int32
+
+	// subs are the SSE delta subscribers; closed flips when the producer
+	// calls Close, ending every subscriber stream.
+	subMu   sync.Mutex
+	subs    map[int]chan []byte
+	nextSub int
+	closed  bool
+}
+
+// New returns an empty timeline sampling on the given sim-time cadence in
+// hours; cadence <= 0 (or NaN) selects DefaultCadence.
+func New(cadence float64) *Timeline {
+	if !(cadence > 0) {
+		cadence = DefaultCadence
+	}
+	return &Timeline{cadence: cadence}
+}
+
+// Cadence returns the sim-time sampling cadence in hours (0 on a nil
+// timeline).
+func (t *Timeline) Cadence() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.cadence
+}
+
+// Column interns a series name and returns its ordinal, stable for the
+// timeline's lifetime. Returns 0 on a nil timeline (Record on a nil lane
+// discards the sample anyway).
+func (t *Timeline) Column(name string) int32 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.colID[name]; ok {
+		return id
+	}
+	if t.colID == nil {
+		t.colID = make(map[string]int32)
+	}
+	id := int32(len(t.cols))
+	t.cols = append(t.cols, name)
+	t.colID[name] = id
+	return id
+}
+
+// Lane creates a new sample lane. Like obs.SpanRing, a lane is
+// SINGLE-WRITER: exactly one goroutine may call Record / Flush at a time.
+// Returns nil — a valid no-op lane — on a nil timeline.
+func (t *Timeline) Lane(name string) *Lane {
+	if t == nil {
+		return nil
+	}
+	l := &Lane{t: t, name: name}
+	t.mu.Lock()
+	t.lanes = append(t.lanes, l)
+	t.mu.Unlock()
+	return l
+}
+
+// Len reports the number of flushed (reader-visible) samples.
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, l := range t.laneList() {
+		n += l.flushedLen()
+	}
+	return n
+}
+
+// laneList snapshots the lane slice.
+func (t *Timeline) laneList() []*Lane {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Lane(nil), t.lanes...)
+}
+
+// columns snapshots the column name table.
+func (t *Timeline) columns() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.cols...)
+}
+
+// Samples returns every flushed sample across all lanes, merged by time —
+// the canonical serialization order. Each lane records time-ascending, so
+// the lanes are k-way merged with ties broken by lane creation order;
+// the result is deterministic for a deterministic recording. Safe to call
+// while writers keep recording: it sees a consistent prefix of each lane.
+func (t *Timeline) Samples() []Sample {
+	if t == nil {
+		return nil
+	}
+	lanes := t.laneList()
+	flat := make([][]Sample, 0, len(lanes))
+	total := 0
+	for _, l := range lanes {
+		blocks := l.blocks()
+		n := 0
+		for _, b := range blocks {
+			n += len(b)
+		}
+		if n == 0 {
+			continue
+		}
+		s := make([]Sample, 0, n)
+		for _, b := range blocks {
+			s = append(s, b...)
+		}
+		flat = append(flat, s)
+		total += n
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	out := make([]Sample, 0, total)
+	idx := make([]int, len(flat))
+	for len(out) < total {
+		best := -1
+		for li, s := range flat {
+			if idx[li] >= len(s) {
+				continue
+			}
+			if best < 0 || s[idx[li]].T < flat[best][idx[best]].T {
+				best = li
+			}
+		}
+		out = append(out, flat[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// Window returns the flushed samples with from <= T <= to, optionally
+// restricted to one series name (empty means all), in the canonical
+// merged order.
+func (t *Timeline) Window(from, to float64, metric string) []Sample {
+	if t == nil {
+		return nil
+	}
+	col := int32(-1)
+	if metric != "" {
+		t.mu.Lock()
+		id, ok := t.colID[metric]
+		t.mu.Unlock()
+		if !ok {
+			return nil
+		}
+		col = id
+	}
+	var out []Sample
+	for _, s := range t.Samples() {
+		if s.T < from || s.T > to {
+			continue
+		}
+		if col >= 0 && s.Col != col {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteJSONL writes every flushed sample as one JSON object per line —
+// {"t":…,"m":"series","v":…} — in the canonical merged order,
+// deterministic for a fixed simulation seed. The encoder is hand-rolled
+// append work tuned for the stream's shape: a cadence tick emits several
+// samples sharing one timestamp (rendered once and reused), and each
+// series' `,"m":"…","v":` fragment is pre-rendered per column.
+func (t *Timeline) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := encoder{cols: t.columns()}
+	buf := make([]byte, 0, 1<<16)
+	for _, s := range t.Samples() {
+		buf = enc.appendSample(buf, s)
+		if len(buf) >= 1<<16-128 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encoder carries WriteJSONL's per-stream caches: pre-rendered
+// `,"m":"…","v":` fragments per column and the last rendered timestamp
+// (samples of one cadence tick share it).
+type encoder struct {
+	cols    []string
+	colFrag [][]byte
+	lastT   float64
+	tBuf    []byte
+}
+
+// frag returns the pre-rendered key fragment for column i.
+func (e *encoder) frag(i int) []byte {
+	for len(e.colFrag) <= i {
+		e.colFrag = append(e.colFrag, nil)
+	}
+	if e.colFrag[i] == nil {
+		name := strconv.Itoa(i)
+		if i < len(e.cols) && e.cols[i] != "" {
+			name = e.cols[i]
+		}
+		e.colFrag[i] = []byte(`,"m":"` + name + `","v":`)
+	}
+	return e.colFrag[i]
+}
+
+// appendSample encodes one sample as a JSON line. Series names must be
+// plain JSON-safe text (no quotes, backslashes, or control characters) —
+// the project's metric names all are.
+func (e *encoder) appendSample(b []byte, s Sample) []byte {
+	b = append(b, `{"t":`...)
+	if s.T != e.lastT || e.tBuf == nil {
+		e.lastT = s.T
+		e.tBuf = appendFixed(e.tBuf[:0], s.T)
+	}
+	b = append(b, e.tBuf...)
+	if s.Col >= 0 {
+		b = append(b, e.frag(int(s.Col))...)
+	} else {
+		b = append(b, `,"m":"`...)
+		b = strconv.AppendInt(b, int64(s.Col), 10)
+		b = append(b, `","v":`...)
+	}
+	b = appendFixed(b, s.V)
+	b = append(b, '}', '\n')
+	return b
+}
+
+// appendFixed encodes v as a fixed-point decimal with up to six
+// fractional digits, trailing zeros trimmed — the journal's timestamp
+// encoding, shared here so timeline and journal timestamps compare
+// byte-for-byte. Non-finite values and values beyond the fixed-point
+// range fall back to shortest-float.
+func appendFixed(b []byte, v float64) []byte {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	if !(v < 9e12) { // NaN, +Inf, or beyond the fixed-point range
+		return strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+	if neg {
+		b = append(b, '-')
+	}
+	u := uint64(v*1e6 + 0.5)
+	b = strconv.AppendUint(b, u/1e6, 10)
+	if fp := u % 1e6; fp != 0 {
+		var tmp [7]byte
+		tmp[0] = '.'
+		for i := 6; i >= 1; i-- {
+			tmp[i] = byte('0' + fp%10)
+			fp /= 10
+		}
+		n := 7
+		for tmp[n-1] == '0' {
+			n--
+		}
+		b = append(b, tmp[:n]...)
+	}
+	return b
+}
+
+// Lane is a single-writer sample buffer feeding its timeline: Record
+// stages into a fixed ring; full rings (and explicit Flush calls) publish
+// immutable blocks to readers and fan deltas out to SSE subscribers. All
+// methods are nil-safe.
+type Lane struct {
+	t    *Timeline
+	name string
+
+	buf [laneBatch]Sample // staging buffer, single-writer
+	n   int
+
+	// flushed holds published samples as immutable blocks (the SpanRing
+	// publication pattern: appending a freshly-copied block never
+	// re-copies earlier samples).
+	mu      sync.Mutex
+	flushed [][]Sample
+	total   int
+}
+
+// Record stages one sample. No-op on a nil lane.
+//
+//hot:noalloc
+func (l *Lane) Record(col int32, t, v float64) {
+	if l == nil {
+		return
+	}
+	l.buf[l.n] = Sample{T: t, V: v, Col: col}
+	l.n++
+	if l.n == laneBatch {
+		l.Flush()
+	}
+}
+
+// Flush publishes the staged samples to readers and subscribers. Only the
+// writer may call it.
+func (l *Lane) Flush() {
+	if l == nil || l.n == 0 {
+		return
+	}
+	blk := make([]Sample, l.n)
+	copy(blk, l.buf[:l.n])
+	l.mu.Lock()
+	l.flushed = append(l.flushed, blk)
+	l.total += l.n
+	l.mu.Unlock()
+	l.n = 0
+	l.t.publish(blk)
+}
+
+// blocks returns the flushed sample blocks. The blocks themselves are
+// immutable once published, so only the block list is copied.
+func (l *Lane) blocks() [][]Sample {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([][]Sample(nil), l.flushed...)
+}
+
+// flushedLen returns the number of published samples.
+func (l *Lane) flushedLen() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

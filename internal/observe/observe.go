@@ -5,8 +5,8 @@
 // Before this package each config struct (IntraConfig, backbone.Config)
 // grew its own ad hoc Metrics/Trace/Health/Logger fields, and every new
 // orchestrator — most recently the scenario-sweep engine — had to
-// re-declare and re-thread the same four pointers. Observe is that bundle,
-// declared once and embedded by each config. All four fields follow the
+// re-declare and re-thread the same pointers. Observe is that bundle,
+// declared once and embedded by each config. Every field follows the
 // project-wide nil contract: a nil field means "not instrumented" and
 // costs the hot paths nothing.
 package observe
@@ -17,6 +17,7 @@ import (
 	"dcnr/internal/obs"
 	"dcnr/internal/obs/health"
 	"dcnr/internal/obs/journal"
+	"dcnr/internal/obs/timeline"
 )
 
 // Observe bundles the optional observability sinks a simulation reports
@@ -41,6 +42,13 @@ type Observe struct {
 	// incident) as fixed-size records linked by parent IDs; write with
 	// Journal.WriteJSONL, query with Journal.Index.
 	Journal *journal.Journal
+	// Timeline, when non-nil, samples the run's registry on the
+	// timeline's sim-time cadence grid into time-series records: the
+	// metric history a final Snapshot flattens away. A timeline without
+	// Metrics still works — the wiring instruments the run with a
+	// private registry just for sampling. Write with
+	// Timeline.WriteJSONL, query with Timeline.Window or ServeHistory.
+	Timeline *timeline.Timeline
 }
 
 // Or returns o with every nil field filled from fallback — the resolution
@@ -61,6 +69,9 @@ func (o Observe) Or(fallback Observe) Observe {
 	}
 	if o.Journal == nil {
 		o.Journal = fallback.Journal
+	}
+	if o.Timeline == nil {
+		o.Timeline = fallback.Timeline
 	}
 	return o
 }

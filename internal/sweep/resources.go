@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// Resources is one run's resource attribution: how much machine one grid
+// cell consumed. Events and SimHours are exact (read from the run's
+// private registry and its scenario's year range); WallSeconds is the
+// run's own wall time; CPUSeconds and AllocBytes are process-level deltas
+// over the run's window — exact on a single-worker campaign, an
+// attribution approximation when workers overlap (each run then also
+// absorbs a share of its neighbours' usage). They are introspection
+// numbers for Status, never part of sweep_report.json or the results
+// stream, so determinism is unaffected.
+type Resources struct {
+	// Events is the number of DES events the run's kernel fired.
+	Events int64
+	// SimHours is the simulated span in hours.
+	SimHours float64
+	// WallSeconds is the run's wall-clock duration.
+	WallSeconds float64
+	// CPUSeconds is the process CPU time (user+system) consumed during
+	// the run's window.
+	CPUSeconds float64
+	// AllocBytes is the heap allocation volume during the run's window.
+	AllocBytes uint64
+}
+
+// SimHoursPerSec is the run's simulation throughput; 0 until finished.
+func (r Resources) SimHoursPerSec() float64 {
+	if r.WallSeconds <= 0 {
+		return 0
+	}
+	return r.SimHours / r.WallSeconds
+}
+
+// EventsPerSec is the run's event throughput; 0 until finished.
+func (r Resources) EventsPerSec() float64 {
+	if r.WallSeconds <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.WallSeconds
+}
+
+// hoursPerYear mirrors des.HoursPerYear without importing the kernel.
+const hoursPerYear = 365 * 24
+
+// resourceProbe captures the process counters at run start so end can
+// attribute the deltas.
+type resourceProbe struct {
+	start  time.Time
+	cpu0   float64
+	alloc0 uint64
+}
+
+func beginProbe() resourceProbe {
+	return resourceProbe{start: time.Now(), cpu0: processCPUSeconds(), alloc0: heapAllocBytes()}
+}
+
+func (p resourceProbe) end(events int64, simHours float64) Resources {
+	return Resources{
+		Events:      events,
+		SimHours:    simHours,
+		WallSeconds: time.Since(p.start).Seconds(),
+		CPUSeconds:  processCPUSeconds() - p.cpu0,
+		AllocBytes:  heapAllocBytes() - p.alloc0,
+	}
+}
+
+// heapAllocBytes reads the cumulative heap allocation volume via
+// runtime/metrics — cheap (no stop-the-world), monotone.
+func heapAllocBytes() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package sweep
+
+// processCPUSeconds is unavailable off unix; attribution degrades to 0.
+func processCPUSeconds() float64 { return 0 }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package sweep
+
+import "syscall"
+
+// processCPUSeconds returns the process's cumulative CPU time (user +
+// system) in seconds, or 0 where getrusage is unavailable.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return sec(ru.Utime) + sec(ru.Stime)
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dcnr/internal/obs/journal"
+	"dcnr/internal/obs/timeline"
 )
 
 // Run states as stored in a statusCell. The zero value is pending so a
@@ -54,6 +55,10 @@ type Status struct {
 	// endpoint (cold path: one write per completed run).
 	jmu       sync.Mutex
 	summaries map[int]journal.Summary
+
+	// tl is the campaign's wall-clock timeline, when one is attached; the
+	// /metrics/history endpoints serve it.
+	tl atomic.Pointer[timeline.Timeline]
 }
 
 // statusCell is one run's progress state; every field is atomic so the
@@ -64,6 +69,13 @@ type statusCell struct {
 	endNS     atomic.Int64
 	faults    atomic.Int64
 	incidents atomic.Int64
+
+	// Resource attribution, stored by done. The float fields travel as
+	// IEEE-754 bits so the cell stays all-atomic.
+	events       atomic.Int64
+	simHoursBits atomic.Uint64
+	cpuSecBits   atomic.Uint64
+	allocBytes   atomic.Uint64
 }
 
 // NewStatus returns an empty status table, ready for Config.Status.
@@ -89,14 +101,19 @@ func (s *Status) start(i int) {
 	c.state.Store(stateRunning)
 }
 
-// done marks run i completed and publishes a progress event.
-func (s *Status) done(i int, st *RunStats) {
+// done marks run i completed, records its resource attribution, and
+// publishes a progress event.
+func (s *Status) done(i int, st *RunStats, res Resources) {
 	if s == nil {
 		return
 	}
 	c := &s.cells[i]
 	c.faults.Store(int64(st.Faults))
 	c.incidents.Store(int64(st.Incidents))
+	c.events.Store(res.Events)
+	c.simHoursBits.Store(math.Float64bits(res.SimHours))
+	c.cpuSecBits.Store(math.Float64bits(res.CPUSeconds))
+	c.allocBytes.Store(res.AllocBytes)
 	c.endNS.Store(time.Now().UnixNano())
 	c.state.Store(stateDone)
 	s.publish(i, "done")
@@ -209,6 +226,15 @@ type RunStatus struct {
 	Straggler bool `json:"straggler,omitempty"`
 	Faults    int  `json:"faults,omitempty"`
 	Incidents int  `json:"incidents,omitempty"`
+	// Resource attribution, set once the run finishes. Events and
+	// SimHoursPerSec/EventsPerSec are exact per-run numbers; CPUSeconds
+	// and AllocBytes are process-level deltas over the run's window — an
+	// approximation when workers overlap (see Resources).
+	Events         int64   `json:"events,omitempty"`
+	SimHoursPerSec float64 `json:"sim_hours_per_sec,omitempty"`
+	EventsPerSec   float64 `json:"events_per_sec,omitempty"`
+	CPUSeconds     float64 `json:"cpu_seconds,omitempty"`
+	AllocBytes     uint64  `json:"alloc_bytes,omitempty"`
 }
 
 // CampaignStatus is the live campaign snapshot the /campaign endpoint
@@ -220,6 +246,10 @@ type CampaignStatus struct {
 	Running        int     `json:"running"`
 	Failed         int     `json:"failed"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Events and SimHours total the completed runs' attribution — how much
+	// simulation the campaign has chewed through so far.
+	Events   int64   `json:"events"`
+	SimHours float64 `json:"sim_hours"`
 	// Faults and Incidents band the completed runs' counts — the report's
 	// cross-run variance, watchable while the campaign is still going.
 	Faults    Band        `json:"faults"`
@@ -268,6 +298,16 @@ func (s *Status) Snapshot() CampaignStatus {
 			row.ElapsedSeconds = time.Duration(c.endNS.Load() - c.startNS.Load()).Seconds()
 			row.Faults = int(c.faults.Load())
 			row.Incidents = int(c.incidents.Load())
+			row.Events = c.events.Load()
+			simHours := math.Float64frombits(c.simHoursBits.Load())
+			row.CPUSeconds = math.Float64frombits(c.cpuSecBits.Load())
+			row.AllocBytes = c.allocBytes.Load()
+			if row.ElapsedSeconds > 0 {
+				row.SimHoursPerSec = simHours / row.ElapsedSeconds
+				row.EventsPerSec = float64(row.Events) / row.ElapsedSeconds
+			}
+			cs.Events += row.Events
+			cs.SimHours += simHours
 			faults = append(faults, float64(row.Faults))
 			incidents = append(incidents, float64(row.Incidents))
 			durations = append(durations, row.ElapsedSeconds)
@@ -330,11 +370,26 @@ func (s *Status) JournalSummary() (journal.Summary, int) {
 	return journal.MergeSummaries(ordered), len(ordered)
 }
 
+// AttachTimeline wires a wall-clock timeline onto the status handler, so
+// /metrics/history and /metrics/history/events serve it. Safe on a nil
+// status (no-op) and with a nil timeline (the endpoints 404 again).
+func (s *Status) AttachTimeline(tl *timeline.Timeline) {
+	if s == nil {
+		return
+	}
+	s.tl.Store(tl)
+}
+
 // Handler serves the campaign introspection endpoints:
 //
-//	/campaign         live CampaignStatus as JSON
-//	/campaign/events  SSE stream, one event per completed run
-//	/journal          merged causal-journal summary of completed runs
+//	/campaign                live CampaignStatus as JSON
+//	/campaign/events         SSE stream, one event per completed run
+//	/journal                 merged causal-journal summary of completed runs
+//	/metrics/history         attached timeline samples as JSONL (from/to/metric params)
+//	/metrics/history/events  SSE stream of new timeline sample blocks
+//
+// The /metrics/history endpoints answer 404 until AttachTimeline wires a
+// timeline in.
 func (s *Status) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/campaign", func(w http.ResponseWriter, r *http.Request) {
@@ -347,6 +402,20 @@ func (s *Status) Handler() http.Handler {
 			Runs    int             `json:"runs_journaled"`
 			Summary journal.Summary `json:"summary"`
 		}{runs, sum})
+	})
+	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, r *http.Request) {
+		if tl := s.tl.Load(); tl != nil {
+			tl.ServeHistory(w, r)
+			return
+		}
+		http.NotFound(w, r)
+	})
+	mux.HandleFunc("/metrics/history/events", func(w http.ResponseWriter, r *http.Request) {
+		if tl := s.tl.Load(); tl != nil {
+			tl.ServeEvents(w, r)
+			return
+		}
+		http.NotFound(w, r)
 	})
 	return mux
 }

@@ -292,7 +292,7 @@ func TestSweepStatusNilSafe(t *testing.T) {
 	var st *Status
 	st.begin(nil)
 	st.start(0)
-	st.done(0, &RunStats{})
+	st.done(0, &RunStats{}, Resources{})
 	st.fail(0)
 	st.setJournal(0, journal.Summary{})
 	st.finish()

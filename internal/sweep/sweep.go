@@ -34,6 +34,7 @@ import (
 	"dcnr/internal/core"
 	"dcnr/internal/faults"
 	"dcnr/internal/obs"
+	"dcnr/internal/obs/timeline"
 	"dcnr/internal/observe"
 	"dcnr/internal/sim"
 )
@@ -103,6 +104,15 @@ type Config struct {
 	// by the run's records. Like Results, the stream is byte-identical at
 	// any worker count.
 	Journal io.Writer
+	// Timeline, when non-nil, receives every run's metric timeline as
+	// JSONL in run order: a header line per run ({"run":N,...}) followed
+	// by the run's samples on the sim-time cadence grid. Like Results,
+	// the stream is byte-identical at any worker count.
+	Timeline io.Writer
+	// TimelineCadence is the per-run sampling cadence in sim-hours;
+	// <= 0 selects the timeline default (24, one grid point per
+	// simulated day).
+	TimelineCadence float64
 	// Status, when non-nil, is updated live as runs start and finish; serve
 	// Status.Handler to watch the campaign from outside. Status only adds
 	// progress accounting — sweep_report.json is unchanged by it.
@@ -237,9 +247,14 @@ func Run(cfg Config) (*Result, error) {
 
 	stream := newOrderedWriter(cfg.Results, len(specs))
 	jstream := newOrderedWriter(cfg.Journal, len(specs))
+	tstream := newOrderedWriter(cfg.Timeline, len(specs))
 	// A journal stream or a live status table both need per-run journals;
 	// either alone turns journaling on for every run.
 	journaling := cfg.Journal != nil || cfg.Status != nil
+	// A private registry per run: for campaign-level metric merging, for
+	// the timeline sampler's series, and for Status's per-run resource
+	// attribution (events processed). Any of the three turns it on.
+	instrument := o.Metrics != nil || cfg.Timeline != nil || cfg.Status != nil
 	cfg.Status.begin(specs)
 	results := make([]RunStats, len(specs))
 	var (
@@ -251,18 +266,22 @@ func Run(cfg Config) (*Result, error) {
 		gWorkers.Add(1)
 		defer gWorkers.Add(-1)
 		spec := specs[i]
+		probe := beginProbe()
 
 		// Per-run isolated telemetry: a private registry per run (when
 		// the campaign is instrumented at all), merged after the run so
 		// concurrent runs never share a counter.
 		var reg *obs.Registry
-		if o.Metrics != nil {
+		if instrument {
 			reg = obs.NewRegistry()
 		}
 		icfg := spec.scenario.intraConfig(spec.seed, spec.scale)
 		icfg.Observe = observe.Observe{Metrics: reg}
 		if journaling {
 			icfg.Observe.Journal = faults.NewJournal()
+		}
+		if cfg.Timeline != nil {
+			icfg.Observe.Timeline = timeline.New(cfg.TimelineCadence)
 		}
 		res, err := sim.IntraDC(icfg)
 		if err != nil {
@@ -286,13 +305,20 @@ func Run(cfg Config) (*Result, error) {
 			addBackboneStats(&stats, bres.Analysis)
 		}
 
+		var events int64
 		if reg != nil {
 			snap := reg.Snapshot()
-			mergedMu.Lock()
-			mergeErr := merged.Merge(snap)
-			mergedMu.Unlock()
-			if mergeErr != nil {
-				return fmt.Errorf("sweep: run %d: merging metrics: %w", spec.run, mergeErr)
+			events = snap.Counters["des_events_fired_total"]
+			// Campaign-level merging only when the caller asked for
+			// metrics; a registry created just for attribution or
+			// timeline sampling stays private to its run.
+			if o.Metrics != nil {
+				mergedMu.Lock()
+				mergeErr := merged.Merge(snap)
+				mergedMu.Unlock()
+				if mergeErr != nil {
+					return fmt.Errorf("sweep: run %d: merging metrics: %w", spec.run, mergeErr)
+				}
 			}
 		}
 		results[i] = stats
@@ -321,7 +347,21 @@ func Run(cfg Config) (*Result, error) {
 			}
 			cfg.Status.setJournal(i, x.Summary())
 		}
-		cfg.Status.done(i, &stats)
+		if tl := icfg.Observe.Timeline; tl != nil && cfg.Timeline != nil {
+			// Serialize the run's timeline as one chunk — a header line
+			// naming the run, then the samples — streamed in run order.
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, "{\"run\":%d,\"scenario\":%q,\"seed\":%d,\"scale\":%d,\"samples\":%d}\n",
+				spec.run, spec.scenario.Name, spec.seed, spec.scale, tl.Len())
+			if err := tl.WriteJSONL(&buf); err != nil {
+				return fmt.Errorf("sweep: run %d: serializing timeline: %w", spec.run, err)
+			}
+			if err := tstream.writeRaw(i, buf.Bytes()); err != nil {
+				return fmt.Errorf("sweep: run %d: streaming timeline: %w", spec.run, err)
+			}
+		}
+		simHours := float64(spec.scenario.ToYear-spec.scenario.FromYear+1) * hoursPerYear
+		cfg.Status.done(i, &stats, probe.end(events, simHours))
 		if o.Logger != nil {
 			o.Logger.Info("sweep run complete",
 				"run", spec.run, "of", len(specs),
@@ -349,7 +389,7 @@ func Run(cfg Config) (*Result, error) {
 	// The stream errors join the run error instead of being masked by it:
 	// a campaign that both lost a run and truncated its JSONL reports both,
 	// and a clean-looking abort can no longer hide a broken stream.
-	if err = errors.Join(err, flushErrs(stream, jstream)); err != nil {
+	if err = errors.Join(err, flushErrs(stream, jstream, tstream)); err != nil {
 		return nil, err
 	}
 	return &Result{
@@ -359,15 +399,18 @@ func Run(cfg Config) (*Result, error) {
 	}, nil
 }
 
-// flushErrs collects the sticky stream errors from the results and journal
-// streams, labeled by stream.
-func flushErrs(stream, jstream *orderedWriter) error {
+// flushErrs collects the sticky stream errors from the results, journal,
+// and timeline streams, labeled by stream.
+func flushErrs(stream, jstream, tstream *orderedWriter) error {
 	var errs []error
 	if err := stream.flushErr(); err != nil {
 		errs = append(errs, fmt.Errorf("sweep: streaming results: %w", err))
 	}
 	if err := jstream.flushErr(); err != nil {
 		errs = append(errs, fmt.Errorf("sweep: streaming journal: %w", err))
+	}
+	if err := tstream.flushErr(); err != nil {
+		errs = append(errs, fmt.Errorf("sweep: streaming timeline: %w", err))
 	}
 	return errors.Join(errs...)
 }

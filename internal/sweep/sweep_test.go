@@ -339,3 +339,91 @@ func TestSweepBackboneLeg(t *testing.T) {
 		t.Errorf("report missing edge availability band: %+v", g.EdgeAvailability)
 	}
 }
+
+func TestSweepTimelineDeterministicAcrossWorkers(t *testing.T) {
+	var streams [3]string
+	for i, workers := range []int{1, 4, 4} {
+		cfg := fastGrid()
+		cfg.Workers = workers
+		var tl bytes.Buffer
+		cfg.Timeline = &tl
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		streams[i] = tl.String()
+	}
+	if streams[0] != streams[1] || streams[1] != streams[2] {
+		t.Errorf("timeline streams differ across workers/repeats")
+	}
+	// Shape check: one header line per run, then that run's samples, all
+	// valid JSON.
+	lines := strings.Split(strings.TrimSuffix(streams[0], "\n"), "\n")
+	headers, samples := 0, 0
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad timeline line %q: %v", line, err)
+		}
+		if _, ok := rec["run"]; ok {
+			headers++
+		} else if _, ok := rec["m"]; ok {
+			samples++
+		} else {
+			t.Errorf("timeline line is neither header nor sample: %q", line)
+		}
+	}
+	if headers != 4 {
+		t.Errorf("got %d timeline headers, want one per run (4)", headers)
+	}
+	if samples == 0 {
+		t.Errorf("timeline stream has no samples")
+	}
+}
+
+func TestSweepTimelineWithoutMetrics(t *testing.T) {
+	// A timeline alone must not switch on campaign-level metric merging:
+	// Result.Metrics stays zero when Observe.Metrics is nil.
+	cfg := fastGrid()
+	cfg.Workers = 2
+	var tl bytes.Buffer
+	cfg.Timeline = &tl
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Metrics.Counters) != 0 {
+		t.Errorf("uninstrumented campaign merged %d counters", len(res.Metrics.Counters))
+	}
+	if tl.Len() == 0 {
+		t.Errorf("timeline stream is empty")
+	}
+}
+
+func TestSweepStatusResources(t *testing.T) {
+	cfg := fastGrid()
+	cfg.Workers = 2
+	st := NewStatus()
+	cfg.Status = st
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cs := st.Snapshot()
+	var sumEvents int64
+	for _, row := range cs.Runs {
+		if row.Events <= 0 {
+			t.Errorf("run %d: Events = %d, want > 0", row.Run, row.Events)
+		}
+		if row.SimHoursPerSec <= 0 || row.EventsPerSec <= 0 {
+			t.Errorf("run %d: rates = (%g sim-h/s, %g ev/s), want > 0",
+				row.Run, row.SimHoursPerSec, row.EventsPerSec)
+		}
+		sumEvents += row.Events
+	}
+	if cs.Events != sumEvents {
+		t.Errorf("campaign Events = %d, want sum of rows %d", cs.Events, sumEvents)
+	}
+	// One simulated year per run in fastGrid.
+	if want := float64(len(cs.Runs)) * hoursPerYear; cs.SimHours != want {
+		t.Errorf("campaign SimHours = %g, want %g", cs.SimHours, want)
+	}
+}

@@ -84,6 +84,50 @@ func TestSimulateIntraDCInstrumented(t *testing.T) {
 	}
 }
 
+// TestSimulateIntraDCTimelineDeterministic pins the timeline's contract at
+// the facade: sampling rides the DES clock, so two identical runs produce
+// byte-identical JSONL — no wall-clock jitter in what gets captured.
+func TestSimulateIntraDCTimelineDeterministic(t *testing.T) {
+	render := func() string {
+		tl := dcnr.NewTimeline(24)
+		cfg := dcnr.IntraConfig{Seed: 11, FromYear: 2016, ToYear: 2016}
+		cfg.Observe.Timeline = tl
+		if _, err := dcnr.SimulateIntraDC(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if tl.Len() == 0 {
+			t.Fatal("timeline captured no samples")
+		}
+		var buf bytes.Buffer
+		if err := tl.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Error("timeline JSONL differs between identical runs")
+	}
+	// Every line is a well-formed sample; the kernel's event counter is in.
+	sawEvents := false
+	for _, line := range strings.Split(strings.TrimSuffix(first, "\n"), "\n") {
+		var s struct {
+			T float64 `json:"t"`
+			M string  `json:"m"`
+			V float64 `json:"v"`
+		}
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("timeline line %q is not valid JSON: %v", line, err)
+		}
+		if s.M == "des_events_fired_total" {
+			sawEvents = true
+		}
+	}
+	if !sawEvents {
+		t.Error("timeline has no des_events_fired_total series")
+	}
+}
+
 // TestSimulateBackboneInstrumented checks the backbone simulation feeds the
 // same registry through BackboneConfig.
 func TestSimulateBackboneInstrumented(t *testing.T) {
