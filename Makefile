@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-hot race verify ci bench bench-des bench-sevquery bench-obs bench-health bench-sweep test-obs test-health api apicheck
+.PHONY: build test vet lint lint-hot race verify ci bench bench-des bench-sevquery bench-obs bench-health bench-sweep bench-serve test-obs test-health api apicheck
 
 build:
 	$(GO) build ./...
@@ -100,3 +100,11 @@ bench-health:
 # serial reports (and a repeated parallel run) must be byte-identical.
 bench-sweep:
 	./scripts/bench_sweep.sh
+
+# bench-serve measures the query daemon: dcnrload self-hosts a dcnrd
+# store and replays the paper-figure query mix at a rising concurrency
+# ladder, recording qps/p50/p99/cache-hit-rate per step in
+# BENCH_serve.json. Gates only on machine-independent invariants
+# (error-free steps, nonzero qps, cache hits on the repeated mix).
+bench-serve:
+	./scripts/bench_serve.sh

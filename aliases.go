@@ -20,6 +20,7 @@ import (
 	"dcnr/internal/obs/timeline"
 	"dcnr/internal/observe"
 	"dcnr/internal/remediation"
+	"dcnr/internal/serve"
 	"dcnr/internal/sev"
 	"dcnr/internal/sim"
 	"dcnr/internal/stats"
@@ -168,6 +169,46 @@ type SEVQuery = sev.Query
 
 // NewSEVStore returns an empty SEV store.
 func NewSEVStore() *SEVStore { return sev.NewStore() }
+
+// ShardedSEVStore partitions a SEV dataset across goroutine-owned
+// shards: ingest distributes reports round-robin, queries fan out to
+// every shard and merge. It is the store behind the dcnrd daemon; use
+// it directly when ingest and queries must overlap without a global
+// lock. Close stops the shard goroutines.
+type ShardedSEVStore = sev.Sharded
+
+// NewShardedSEVStore returns a sharded SEV store with n shard
+// goroutines (n < 1 is treated as 1).
+func NewShardedSEVStore(n int) *ShardedSEVStore { return sev.NewSharded(n) }
+
+// ServeConfig parameterizes a SEV query daemon: listen address, shard
+// count, result-cache capacity, and the shared Observe wiring. Validate
+// fills defaults and rejects out-of-range values; NewSEVDaemon calls it
+// for you.
+type ServeConfig = serve.Config
+
+// ServeServer is the unified HTTP serving surface shared by repro,
+// dcsweep, and dcnrd: New -> Register -> Start -> Shutdown, with
+// optional observability endpoints mounted from whatever obs handles
+// the Options carry. A nil *ServeServer no-ops Register and Shutdown.
+type ServeServer = serve.Server
+
+// ServeOptions configures a ServeServer: address, log label, and the
+// nil-safe obs handles whose endpoints it should mount.
+type ServeOptions = serve.Options
+
+// NewServeServer returns an unstarted server for the given options.
+func NewServeServer(opts ServeOptions) *ServeServer { return serve.New(opts) }
+
+// SEVDaemon is the long-running query daemon behind cmd/dcnrd: a
+// sharded SEV store served over HTTP/JSON (/query/count,
+// /query/resolutions, /ingest, /stats) with an LRU result cache keyed
+// by normalized query + dataset generation and ETag/If-None-Match
+// revalidation. Shutdown is idempotent.
+type SEVDaemon = serve.Daemon
+
+// NewSEVDaemon validates cfg and returns an unstarted daemon.
+func NewSEVDaemon(cfg *ServeConfig) (*SEVDaemon, error) { return serve.NewDaemon(cfg) }
 
 // Fleet models device populations over the study period.
 type Fleet = fleet.Model
@@ -404,8 +445,9 @@ func AttachJournal(store *SEVStore, x *JournalIndex) int { return sev.AttachJour
 // pointer-free fixed-width samples on a fixed cadence grid. A nil
 // *Timeline is a valid no-op. Pass one through
 // IntraConfig.Observe.Timeline (or SweepConfig.Timeline for per-run
-// streams) and serialize it with WriteJSONL; serve ServeHistory /
-// ServeEvents for live windowed queries and SSE deltas.
+// streams) and serialize it with WriteJSONL; serve ServeHistory for
+// windowed queries, or stream live deltas by passing Subscribe to the
+// serve layer's SSE handler (ServeConfig / NewSEVDaemon side).
 type Timeline = timeline.Timeline
 
 // TimelineSample is one time-series point: the sample instant, the

@@ -376,6 +376,45 @@ func BenchmarkSevQueryGroupedCounts(b *testing.B) {
 	}
 }
 
+// Ingest benches: the per-report Add path (a sorted insert into the
+// start-time index per report) against the batched AddAll path (one
+// index build per batch) over the same simulated dataset.
+
+func benchIngestReports(b *testing.B) []SEVReport {
+	intra, _ := benchData(b)
+	reports := intra.Store.All()
+	for i := range reports {
+		reports[i].ID = 0
+	}
+	return reports
+}
+
+func BenchmarkSevQueryIngestAdd(b *testing.B) {
+	reports := benchIngestReports(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := NewSEVStore()
+		for _, r := range reports {
+			if _, err := store.Add(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(reports)), "reports/op")
+}
+
+func BenchmarkSevQueryIngestAddAll(b *testing.B) {
+	reports := benchIngestReports(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := NewSEVStore()
+		if _, err := store.AddAll(reports); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reports)), "reports/op")
+}
+
 // BenchmarkReproFanOut measures the all-experiments fan-out speedup the
 // repro runner exposes: the same 21 analysis regenerations serial vs on a
 // bounded pool.

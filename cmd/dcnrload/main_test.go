@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dcnr/internal/sev"
+)
+
+// TestRunLoadSelfHost is the dcnrd+dcnrload e2e smoke test: the harness
+// self-hosts a sharded daemon on a real loopback listener, replays the
+// paper-figure mix up the concurrency ladder, and the report shows
+// traffic flowing and the cache warming on the repeated mix.
+func TestRunLoadSelfHost(t *testing.T) {
+	cfg := loadConfig{
+		steps: []int{1, 2}, requests: 120,
+		shards: 2, cache: 64, reports: 400, seed: 1,
+	}
+	var stderr strings.Builder
+	rep, err := runLoad(cfg, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards != 2 || rep.Reports != 400 || len(rep.Steps) != 2 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	for i, st := range rep.Steps {
+		if st.Concurrency != cfg.steps[i] {
+			t.Errorf("step %d concurrency = %d", i, st.Concurrency)
+		}
+		if st.Requests == 0 || st.Errors != 0 {
+			t.Errorf("step %d: requests %d errors %d", i, st.Requests, st.Errors)
+		}
+		if st.QPS <= 0 || st.P99Millis < st.P50Millis {
+			t.Errorf("step %d: qps %f p50 %f p99 %f", i, st.QPS, st.P50Millis, st.P99Millis)
+		}
+	}
+	// The mix re-asks ~a dozen normalized queries, so by the second step
+	// the cache must be carrying most of the load.
+	if hr := rep.Steps[len(rep.Steps)-1].CacheHitRate; hr <= 0.5 {
+		t.Errorf("final-step cache hit rate = %f, want > 0.5", hr)
+	}
+	if !strings.Contains(stderr.String(), "self-hosting") {
+		t.Errorf("missing self-host banner: %s", stderr.String())
+	}
+}
+
+// TestSyntheticReportsValid: the generated dataset passes store
+// validation wholesale and covers the indexed dimensions.
+func TestSyntheticReportsValid(t *testing.T) {
+	reports := syntheticReports(500, 7)
+	st := sev.NewStore()
+	if _, err := st.AddAll(reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Query().CountByDeviceType()) < 4 {
+		t.Errorf("device spread: %v", st.Query().CountByDeviceType())
+	}
+	if len(st.Query().CountByYear()) != 7 {
+		t.Errorf("year spread: %v", st.Query().CountByYear())
+	}
+	// Deterministic: same seed, same dataset.
+	again := syntheticReports(500, 7)
+	for i := range reports {
+		if reports[i].Device != again[i].Device || reports[i].Resolution != again[i].Resolution {
+			t.Fatalf("report %d differs across runs", i)
+		}
+	}
+}
+
+// TestPickQueryCoversMix: a modest PRNG stream reaches every mix row.
+func TestPickQueryCoversMix(t *testing.T) {
+	rng := splitmix64(3)
+	seen := map[string]bool{}
+	for range 4096 {
+		seen[pickQuery(rng.next())] = true
+	}
+	if len(seen) != len(queryMix) {
+		t.Errorf("mix coverage: %d/%d paths drawn", len(seen), len(queryMix))
+	}
+}
+
+func TestParseSteps(t *testing.T) {
+	got, err := parseSteps(" 1, 2,8 ")
+	if err != nil || len(got) != 3 || got[2] != 8 {
+		t.Fatalf("parseSteps = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "a,b", "2,-1"} {
+		if _, err := parseSteps(bad); err == nil {
+			t.Errorf("parseSteps(%q) accepted", bad)
+		}
+	}
+}

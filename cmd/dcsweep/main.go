@@ -59,14 +59,13 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
-	"net"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"dcnr"
+	"dcnr/internal/serve"
 )
 
 // sweepTimelineCounters and sweepTimelineGauges are the campaign progress
@@ -317,23 +316,13 @@ func run(o options) error {
 // has already torn down. It returns the bound address so ":0" works in
 // tests.
 func serveStatus(addr string, status *dcnr.SweepStatus, logger *slog.Logger) (func(), string, error) {
-	ln, err := net.Listen("tcp", addr)
+	srv := serve.New(serve.Options{Addr: addr, Name: "campaign status", Logger: logger})
+	srv.Register("/", status.Handler())
+	bound, err := srv.Start()
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: status.Handler()}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			logger.Warn("campaign status server stopped", "err", err)
-		}
-	}()
-	shutdown := func() {
-		_ = srv.Close()
-		<-done
-	}
-	return shutdown, ln.Addr().String(), nil
+	return srv.Shutdown, bound, nil
 }
 
 // opsLogger returns the campaign logger, falling back — when -log-level is

@@ -36,24 +36,19 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"errors"
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dcnr"
 	"dcnr/internal/faults"
 	"dcnr/internal/report"
+	"dcnr/internal/serve"
 	"dcnr/internal/service"
 	"dcnr/internal/topology"
 )
@@ -152,108 +147,34 @@ func main() {
 	}
 }
 
-// publishedRegistry backs the process-wide "dcnr" expvar: expvar.Publish
-// panics on duplicate names, so the var is published once and reads
-// whichever registry the latest startMetricsServer call installed.
-var (
-	publishedRegistry atomic.Pointer[dcnr.MetricsRegistry]
-	publishOnce       sync.Once
-)
-
 // startMetricsServer serves runtime introspection on addr until the
-// returned server is closed: /debug/vars (expvar with the simulation's
-// metrics published under "dcnr"), /metrics (Prometheus text exposition),
+// returned shutdown function is called: the full internal/serve
+// introspection suite — /debug/vars (expvar with the simulation's metrics
+// published under "dcnr"), /metrics (Prometheus text exposition),
 // /healthz and /slo (the SLO engine's liveness verdict and full JSON
 // report; eng may be nil, which reads as permanently healthy), /journal
 // (the causal journal's summary; jnl may be nil, which reads as an empty
 // journal), /metrics/history and /metrics/history/events (the attached
 // timeline's windowed JSONL history and SSE delta stream; tl may be nil,
-// which serves empty histories), and /debug/pprof/ (the net/http/pprof
-// endpoints). It returns a shutdown function that stops the server AND
-// joins the serving goroutine — callers must invoke it so no goroutine
-// outlives the run — plus the bound address so callers can pass ":0" and
-// discover the port.
+// which serves empty histories), and /debug/pprof/. The shutdown function
+// stops the server AND joins the serving goroutine — callers must invoke
+// it so no goroutine outlives the run. The bound address is returned so
+// callers can pass ":0" and discover the port.
 func startMetricsServer(addr string, reg *dcnr.MetricsRegistry, eng *dcnr.HealthEngine, jnl *dcnr.Journal, tl *dcnr.Timeline) (func(), string, error) {
-	publishedRegistry.Store(reg)
-	publishOnce.Do(func() {
-		expvar.Publish("dcnr", expvar.Func(func() any {
-			if r := publishedRegistry.Load(); r != nil {
-				return r.Snapshot()
-			}
-			return nil
-		}))
+	srv := serve.New(serve.Options{
+		Addr:          addr,
+		Name:          "repro: metrics",
+		Metrics:       reg,
+		Health:        eng,
+		Journal:       jnl,
+		Timeline:      tl,
+		Introspection: true,
 	})
-	ln, err := net.Listen("tcp", addr)
+	bound, err := srv.Start()
 	if err != nil {
 		return nil, "", err
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if r := publishedRegistry.Load(); r != nil {
-			// A failed write means the scraper hung up mid-response;
-			// there is no one left to report it to.
-			_ = r.WritePrometheus(w)
-		}
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		// As with /metrics, a failed write means the prober hung up.
-		rep := eng.Report()
-		if rep.Healthy {
-			_, _ = fmt.Fprintln(w, "ok")
-			return
-		}
-		w.WriteHeader(http.StatusServiceUnavailable)
-		for _, rs := range rep.Rules {
-			if rs.State == "firing" {
-				_, _ = fmt.Fprintf(w, "firing: %s\n", rs.Name)
-			}
-		}
-	})
-	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		// Same contract as /metrics: a failed write is the scraper's
-		// hang-up, not ours.
-		_ = eng.WriteJSON(w)
-	})
-	mux.HandleFunc("/journal", func(w http.ResponseWriter, _ *http.Request) {
-		// Summaries read only the journal's flushed prefix, so this is
-		// safe to serve while the simulation is still recording.
-		data, err := json.Marshal(jnl.Index().Summary())
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		// Same contract as /metrics: a failed write is the scraper's
-		// hang-up, not ours.
-		_, _ = w.Write(append(data, '\n'))
-	})
-	mux.HandleFunc("/metrics/history", tl.ServeHistory)
-	mux.HandleFunc("/metrics/history/events", tl.ServeEvents)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "repro: metrics server stopped: %v\n", err)
-		}
-	}()
-	shutdown := func() {
-		// Close (not Shutdown) also severs active connections — a scraper
-		// holding a streaming response open must not stall process exit —
-		// and the join guarantees the goroutine's stderr write cannot land
-		// after the caller has moved on.
-		_ = srv.Close()
-		<-done
-	}
-	return shutdown, ln.Addr().String(), nil
+	return srv.Shutdown, bound, nil
 }
 
 // writeTraceFile writes the trace to path, losing neither the write error

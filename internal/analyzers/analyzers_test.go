@@ -19,9 +19,9 @@ import (
 var fixtureDeps = []string{
 	"dcnr/internal/des", "dcnr/internal/obs", "dcnr/internal/obs/health",
 	"dcnr/internal/obs/journal", "dcnr/internal/obs/timeline",
-	"dcnr/internal/sev", "dcnr/internal/simrand",
-	"bytes", "fmt", "io", "log/slog", "math/rand", "net", "os", "sort",
-	"sync", "time",
+	"dcnr/internal/serve", "dcnr/internal/sev", "dcnr/internal/simrand",
+	"bytes", "fmt", "io", "log/slog", "math/rand", "net", "net/http",
+	"os", "sort", "sync", "time",
 }
 
 var fixtureEnv struct {
@@ -162,6 +162,9 @@ func TestObsNilSafeBadFixture(t *testing.T) {
 		"bad_journal.go:15:6 obsnilsafe",   // journal.Journal{} composite literal
 		"bad_journal.go:16:9 obsnilsafe",   // new(journal.Journal)
 		"bad_journal.go:20:17 obsnilsafe",  // parameter of value type journal.Lane
+		"bad_serve.go:10:2 obsnilsafe",     // field of value type serve.Server
+		"bad_serve.go:16:6 obsnilsafe",     // serve.Server{} composite literal
+		"bad_serve.go:17:9 obsnilsafe",     // new(serve.Server)
 		"bad_timeline.go:10:2 obsnilsafe",  // field of value type timeline.Timeline
 		"bad_timeline.go:15:6 obsnilsafe",  // timeline.Timeline{} composite literal
 		"bad_timeline.go:16:9 obsnilsafe",  // new(timeline.Timeline)
@@ -175,6 +178,9 @@ func TestObsNilSafeBadFixture(t *testing.T) {
 	}
 	if !diagsMention(diags, "timeline.New") {
 		t.Errorf("timeline diagnostics should point at timeline.New: %q", diagKeys(diags))
+	}
+	if !diagsMention(diags, "serve.New") {
+		t.Errorf("server diagnostics should point at serve.New: %q", diagKeys(diags))
 	}
 }
 

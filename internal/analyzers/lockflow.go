@@ -3,6 +3,7 @@ package analyzers
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // LockFlow is the inter-procedural successor of heaplock. heaplock checks
@@ -20,36 +21,68 @@ import (
 // stays silent no matter what its //lint:allow comment claims.
 //
 // Scope and conventions (DESIGN §12): only methods of structs owning both
-// a mutex and a *des.Simulator are analyzed — that is the shape that
-// shares a simulator across goroutines (the PR-2 race class); plain
-// functions driving a simulator single-threaded (setup code, the sweep
-// runner) are out of scope. Mutations are matched type-wise on ANY
-// *des.Simulator-valued expression, so `sim := e.sim; sim.After(...)`
-// is seen where heaplock's receiver-field syntax match is not. Function
-// literals run inside the single-threaded DES event loop: call sites
-// inside closures do not transmit unlocked reachability, and a helper
-// called only from closures is exempt.
+// a mutex and a guarded shared resource are analyzed. Two resource kinds
+// are guarded: *des.Simulator — the shape that shares a simulator across
+// goroutines (the PR-2 race class) — and *serve.Server, whose Register
+// and Start calls belong to the single-goroutine construction phase
+// (serve's lifecycle contract), so a struct sharing a Server behind a
+// mutex must hold it around them. Plain functions driving a resource
+// single-threaded (setup code, the sweep runner) are out of scope.
+// Mutations are matched type-wise on ANY expression of a guarded type, so
+// `sim := e.sim; sim.After(...)` is seen where heaplock's receiver-field
+// syntax match is not. Function literals run inside the single-threaded
+// DES event loop: call sites inside closures do not transmit unlocked
+// reachability, and a helper called only from closures is exempt.
 var LockFlow = &ModuleAnalyzer{
 	Name: "lockflow",
-	Doc:  "DES heap mutations must be unreachable from call paths that do not hold the owning mutex",
-	Contract: `On any struct owning both a mutex and a *des.Simulator, every call
-path from an unlocked entry point (exported methods, by convention) to a
-des heap mutation (Schedule/After/Cancel/Every/Run/Step/Halt/Reset, on
-ANY *des.Simulator-typed expression, aliases included) must acquire the
-mutex along the way. Unlike heaplock, which checks one method at a time,
-lockflow follows calls between methods: a helper annotated "caller holds
-mu" is verified against its actual callers and reported with the
-unlocked caller chain if the claim is false. Call sites inside function
-literals are exempt (they run on the single-threaded DES event loop).
+	Doc:  "guarded-resource mutations (DES heap, serve.Server lifecycle) must be unreachable from call paths that do not hold the owning mutex",
+	Contract: `On any struct owning both a mutex and a guarded shared resource
+(*des.Simulator or *serve.Server), every call path from an unlocked entry
+point (exported methods, by convention) to a resource mutation — a des
+heap mutation (Schedule/After/Cancel/Every/Run/Step/Halt/Reset) or a
+serve lifecycle call (Register/Start), on ANY expression of the guarded
+type, aliases included — must acquire the mutex along the way. Unlike
+heaplock, which checks one method at a time, lockflow follows calls
+between methods: a helper annotated "caller holds mu" is verified against
+its actual callers and reported with the unlocked caller chain if the
+claim is false. Call sites inside function literals are exempt (they run
+on the single-threaded DES event loop).
 Example fixture: internal/analyzers/testdata/src/lockflow/bad/bad.go`,
 	Run: runLockFlow,
 }
 
-// lockSite is one heap mutation inside a guarded method, with the lock
-// state the must-hold analysis proved at that point.
+// serveMutators are the serve.Server methods confined to the single-
+// goroutine construction phase: Register appends to an unsynchronized
+// route table and Start transitions the lifecycle, so a struct sharing a
+// Server across goroutines must confine both behind its mutex.
+var serveMutators = map[string]bool{"Register": true, "Start": true}
+
+// resourceKind is one guarded shared-resource field type: owning it
+// together with a mutex puts a struct in lockflow's scope, and the
+// mutator set names the calls that must be reached locked.
+type resourceKind struct {
+	pkgPath, typeName string
+	mutators          map[string]bool
+	consequence       string // why an unlocked mutation is a bug
+}
+
+var lockflowKinds = []resourceKind{
+	{desPath, "Simulator", heapMutators, "concurrent entry corrupts the event heap"},
+	{servePath, "Server", serveMutators, "Register and Start are unsynchronized construction-phase calls"},
+}
+
+// display renders the kind as it appears in diagnostics, e.g.
+// "des.Simulator".
+func (k *resourceKind) display() string {
+	return k.pkgPath[strings.LastIndexByte(k.pkgPath, '/')+1:] + "." + k.typeName
+}
+
+// lockSite is one resource mutation inside a guarded method, with the
+// lock state the must-hold analysis proved at that point.
 type lockSite struct {
 	call   *ast.CallExpr
-	method string // the des.Simulator mutator name
+	kind   *resourceKind
+	method string // the mutator name on the guarded type
 	held   bool
 }
 
@@ -75,7 +108,7 @@ func runLockFlow(pass *ModulePass) error {
 
 	guarded := make(map[*types.TypeName]*lockedSimType)
 	for _, pkg := range m.Pkgs {
-		for _, t := range findLockedSimTypes(pkg.Types) {
+		for _, t := range findLockedResTypes(pkg.Types) {
 			guarded[t.named.Obj()] = t
 		}
 	}
@@ -131,8 +164,8 @@ func runLockFlow(pass *ModulePass) error {
 				continue
 			}
 			pass.Reportf(s.call.Pos(),
-				"des.Simulator.%s runs without holding %s.%s on the unlocked path %s: concurrent entry corrupts the event heap (lock first, or keep every caller on a locked path)",
-				s.method, li.recvName, li.mutexName, li.via)
+				"%s.%s runs without holding %s.%s on the unlocked path %s: %s (lock first, or keep every caller on a locked path)",
+				s.kind.display(), s.method, li.recvName, li.mutexName, li.via, s.kind.consequence)
 		}
 	}
 	return nil
@@ -194,8 +227,8 @@ func analyzeLockMethod(n *CGNode, guarded map[*types.TypeName]*lockedSimType) *l
 				if e, ok := siteOf[call]; ok {
 					li.heldAt[e] = h
 				}
-				if method, ok := simMutatorCall(info, call); ok {
-					li.sites = append(li.sites, lockSite{call: call, method: method, held: h})
+				if kind, method, ok := resMutatorCall(info, call); ok {
+					li.sites = append(li.sites, lockSite{call: call, kind: kind, method: method, held: h})
 				}
 			})
 		}
@@ -234,17 +267,17 @@ func (li *lockInfo) transferNode(nd ast.Node, held bool, visit func(*ast.CallExp
 	return held
 }
 
-// simMutatorCall matches a call of a heap-mutating des.Simulator method on
-// any *des.Simulator-typed expression — the receiver field, a local alias,
-// a parameter — unlike heaplock's stricter recv.field.method syntax.
-func simMutatorCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+// resMutatorCall matches a call of a guarded-kind mutator on any
+// expression of the guarded type — the receiver field, a local alias, a
+// parameter — unlike heaplock's stricter recv.field.method syntax.
+func resMutatorCall(info *types.Info, call *ast.CallExpr) (*resourceKind, string, bool) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || !heapMutators[sel.Sel.Name] {
-		return "", false
+	if !ok {
+		return nil, "", false
 	}
 	tv, ok := info.Types[sel.X]
 	if !ok || tv.Type == nil {
-		return "", false
+		return nil, "", false
 	}
 	t := tv.Type
 	if p, ok := t.(*types.Pointer); ok {
@@ -252,10 +285,70 @@ func simMutatorCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 	}
 	named, ok := t.(*types.Named)
 	if !ok || named.Obj().Pkg() == nil {
-		return "", false
+		return nil, "", false
 	}
-	if named.Obj().Pkg().Path() == desPath && named.Obj().Name() == "Simulator" {
-		return sel.Sel.Name, true
+	for i := range lockflowKinds {
+		k := &lockflowKinds[i]
+		if named.Obj().Pkg().Path() == k.pkgPath && named.Obj().Name() == k.typeName &&
+			k.mutators[sel.Sel.Name] {
+			return k, sel.Sel.Name, true
+		}
 	}
-	return "", false
+	return nil, "", false
+}
+
+// findLockedResTypes scans the package scope for struct types declaring
+// both a mutex field and a guarded-resource pointer field — lockflow's
+// wider analogue of findLockedSimTypes (heaplock stays des-only).
+func findLockedResTypes(pkg *types.Package) []*lockedSimType {
+	var out []*lockedSimType
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		t := &lockedSimType{named: named, mutexes: map[string]bool{}, simFields: map[string]bool{}}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isMutexType(f.Type()) {
+				t.mutexes[f.Name()] = true
+			}
+			if isGuardedResPtr(f.Type()) {
+				t.simFields[f.Name()] = true
+			}
+		}
+		if len(t.mutexes) > 0 && len(t.simFields) > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// isGuardedResPtr reports whether t is a pointer to any lockflow-guarded
+// resource type.
+func isGuardedResPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	for i := range lockflowKinds {
+		k := &lockflowKinds[i]
+		if named.Obj().Pkg().Path() == k.pkgPath && named.Obj().Name() == k.typeName {
+			return true
+		}
+	}
+	return false
 }

@@ -63,12 +63,20 @@ func TestLockFlowBadFixture(t *testing.T) {
 
 	diags := moduleDiags(t, "lockflow/bad", []*ModuleAnalyzer{LockFlow})
 	assertDiags(t, diags, []string{
-		"bad.go:30:2 lockflow", // helperB, reached via Submit -> helperA
-		"bad.go:37:2 lockflow", // aliased simulator pointer
-		"bad.go:48:2 lockflow", // conditional lock, must-join says unheld
+		"bad.go:30:2 lockflow",       // helperB, reached via Submit -> helperA
+		"bad.go:37:2 lockflow",       // aliased simulator pointer
+		"bad.go:48:2 lockflow",       // conditional lock, must-join says unheld
+		"bad_serve.go:25:2 lockflow", // Register in helper, reached via Mount -> mount
+		"bad_serve.go:32:9 lockflow", // aliased server pointer, unlocked Start
 	})
 	if !diagsMention(diags, "Submit -> helperA -> helperB") {
 		t.Errorf("the helperB diagnostic should carry the unlocked caller chain: %q", diagKeys(diags))
+	}
+	if !diagsMention(diags, "Mount -> mount") {
+		t.Errorf("the Register diagnostic should carry the unlocked caller chain: %q", diagKeys(diags))
+	}
+	if !diagsMention(diags, "serve.Server.Start") {
+		t.Errorf("the Start diagnostic should name the serve mutator: %q", diagKeys(diags))
 	}
 }
 

@@ -16,16 +16,20 @@ import (
 // journal whose lanes share one ID counter. The timeline sampler is the
 // same shape again: a nil *timeline.Timeline (and the nil *timeline.Lane
 // it hands out) records nothing, and timeline.New is the only constructor
-// that wires the column table and staging rings. Violations this catches:
+// that wires the column table and staging rings. The serving layer closes
+// the set: a nil *serve.Server is inert (Register and Shutdown no-op,
+// Start errors), and serve.New is the only constructor that wires the mux
+// and the lifecycle state behind Start/Shutdown. Violations this catches:
 //
 //   - constructing obs.Counter/Gauge/Histogram/Registry/Tracer,
-//     health.Engine, journal.Journal/Lane, or timeline.Timeline/Lane with
-//     a composite literal or new(): a hand-rolled metric is invisible to
-//     every exposition path (Snapshot, expvar, Prometheus), a zero-value
-//     Registry panics on first use, a zero-value Engine skips rule
-//     validation, a hand-rolled Journal mints colliding causal IDs, and a
-//     hand-rolled Timeline has no column table for its lanes to stage
-//     into.
+//     health.Engine, journal.Journal/Lane, timeline.Timeline/Lane, or
+//     serve.Server with a composite literal or new(): a hand-rolled
+//     metric is invisible to every exposition path (Snapshot, expvar,
+//     Prometheus), a zero-value Registry panics on first use, a
+//     zero-value Engine skips rule validation, a hand-rolled Journal
+//     mints colliding causal IDs, a hand-rolled Timeline has no column
+//     table for its lanes to stage into, and a zero-value Server has no
+//     mux — Register panics and Shutdown's idempotence guard is gone.
 //   - declaring a field, variable, or parameter of value (non-pointer)
 //     guarded type: copying the embedded atomics/mutexes forks the state,
 //     and a value can never be the nil no-op that uninstrumented runs rely
@@ -38,8 +42,8 @@ var ObsNilSafe = &Analyzer{
 	Name: "obsnilsafe",
 	Doc:  "obs metrics and health engines must come from their constructors and be held by pointer",
 	Contract: `obs guarded types (Registry metrics, health.Engine, journal
-Journal/Lane, timeline Timeline/Lane) rely on nil-receiver no-ops for
-zero-cost disablement, so
+Journal/Lane, timeline Timeline/Lane, serve.Server) rely on nil-receiver
+no-ops for zero-cost disablement, so
 they must be obtained from their constructors and held only as pointers:
 no composite literals, no new(T), no value-typed fields or copies —
 any of which bypasses the nil-safety contract and panics or splits state.
@@ -52,12 +56,13 @@ const (
 	healthPath   = "dcnr/internal/obs/health"
 	journalPath  = "dcnr/internal/obs/journal"
 	timelinePath = "dcnr/internal/obs/timeline"
+	servePath    = "dcnr/internal/serve"
 )
 
 // obsGuardedTypes are the types with construction and copy rules, per
 // package. Constructors: Registry methods for metrics, NewRegistry,
 // NewTracer, health.New, journal.New (lanes only via Journal.Lane),
-// timeline.New (lanes only via Timeline.Lane).
+// timeline.New (lanes only via Timeline.Lane), serve.New.
 var obsGuardedTypes = map[string]map[string]bool{
 	obsPath: {
 		"Counter": true, "Gauge": true, "Histogram": true,
@@ -66,6 +71,7 @@ var obsGuardedTypes = map[string]map[string]bool{
 	healthPath:   {"Engine": true},
 	journalPath:  {"Journal": true, "Lane": true},
 	timelinePath: {"Timeline": true, "Lane": true},
+	servePath:    {"Server": true},
 }
 
 // isObsGuarded reports whether t is a guarded type, returning its
@@ -141,6 +147,8 @@ func obsConstructor(name string) string {
 		return "timeline.New"
 	case "timeline.Lane":
 		return "Timeline.Lane"
+	case "serve.Server":
+		return "serve.New"
 	}
 	return "Registry." + name[len("obs."):]
 }

@@ -1,0 +1,33 @@
+// The serving-layer analogue of the mutex+simulator shape: Register and
+// Start are unsynchronized construction-phase calls, so a struct that
+// shares a Server behind a mutex must hold it on every path to them.
+package bad
+
+import (
+	"net/http"
+	"sync"
+
+	"dcnr/internal/serve"
+)
+
+type Gateway struct {
+	mu  sync.Mutex
+	srv *serve.Server
+}
+
+// Mount is an unlocked entry point whose helper mutates the route table
+// with no lock held anywhere on the path.
+func (g *Gateway) Mount(pattern string, h http.Handler) {
+	g.mount(pattern, h)
+}
+
+func (g *Gateway) mount(pattern string, h http.Handler) {
+	g.srv.Register(pattern, h) // unlocked Mount -> mount path
+}
+
+// Launch aliases the server pointer, defeating a syntax-only match, and
+// starts it unlocked.
+func (g *Gateway) Launch() {
+	srv := g.srv
+	_, _ = srv.Start()
+}

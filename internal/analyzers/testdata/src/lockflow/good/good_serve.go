@@ -1,0 +1,35 @@
+// The clean serving-layer shape: every path to a Server lifecycle call
+// holds the mutex, so the shared route table and Start transition are
+// confined.
+package good
+
+import (
+	"net/http"
+	"sync"
+
+	"dcnr/internal/serve"
+)
+
+type Gateway struct {
+	mu  sync.Mutex
+	srv *serve.Server
+}
+
+// Mount locks at the entry point; the helper's claim holds for every
+// caller.
+func (g *Gateway) Mount(pattern string, h http.Handler) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.mountLocked(pattern, h)
+}
+
+func (g *Gateway) mountLocked(pattern string, h http.Handler) {
+	g.srv.Register(pattern, h)
+}
+
+// Launch starts under the same lock, closing the construction phase.
+func (g *Gateway) Launch() (string, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.srv.Start()
+}

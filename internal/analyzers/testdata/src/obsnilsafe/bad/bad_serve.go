@@ -1,0 +1,18 @@
+// Hand-rolled servers: only serve.New wires the mux and the lifecycle
+// state, and only a pointer can be the inert nil server.
+package bad
+
+import "dcnr/internal/serve"
+
+// Gateway holds a server by value: copying forks the shutdown Once, so
+// one copy's Shutdown leaves the other's goroutine running.
+type Gateway struct {
+	api serve.Server
+}
+
+// HiddenServer builds servers that bypass the constructor: no mux, so
+// Register panics, and no lifecycle state behind Start/Shutdown.
+func HiddenServer() *serve.Server {
+	_ = serve.Server{}
+	return new(serve.Server)
+}

@@ -1,0 +1,26 @@
+// Servers come from serve.New and are held by pointer: a nil *Server is
+// inert (Register and Shutdown no-op, Start errors), so callers can wire
+// serving unconditionally.
+package good
+
+import (
+	"net/http"
+
+	"dcnr/internal/serve"
+)
+
+// Gateway holds its server by pointer, constructor-built.
+type Gateway struct {
+	api *serve.Server
+}
+
+// NewGateway mounts routes during the single-goroutine construction
+// phase, per the serve lifecycle contract.
+func NewGateway(addr string) *Gateway {
+	g := &Gateway{api: serve.New(serve.Options{Addr: addr})}
+	g.api.Register("/ping", http.NotFoundHandler())
+	return g
+}
+
+// Close releases the server through its nil-safe Shutdown.
+func (g *Gateway) Close() { g.api.Shutdown() }

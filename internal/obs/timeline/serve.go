@@ -1,7 +1,6 @@
 package timeline
 
 import (
-	"fmt"
 	"math"
 	"net/http"
 	"strconv"
@@ -131,56 +130,7 @@ func (t *Timeline) ServeHistory(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// ServeEvents streams flushed sample blocks as server-sent events: each
-// event's data is the block's JSONL (one sample per data line). The
-// stream ends when the timeline is Closed or the client goes away. A nil
-// timeline ends the stream immediately.
-func (t *Timeline) ServeEvents(w http.ResponseWriter, r *http.Request) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	ch, cancel := t.Subscribe()
-	defer cancel()
-	fl.Flush()
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case chunk, ok := <-ch:
-			if !ok {
-				return // timeline closed
-			}
-			if err := writeSSE(w, chunk); err != nil {
-				return
-			}
-			fl.Flush()
-		}
-	}
-}
-
-// writeSSE frames one JSONL chunk as a single SSE event: every line
-// becomes a data: line, so the client reassembles the chunk by joining
-// the event's data lines with newlines.
-func writeSSE(w http.ResponseWriter, chunk []byte) error {
-	start := 0
-	for i, b := range chunk {
-		if b != '\n' {
-			continue
-		}
-		if _, err := fmt.Fprintf(w, "data: %s\n", chunk[start:i]); err != nil {
-			return err
-		}
-		start = i + 1
-	}
-	if start < len(chunk) {
-		if _, err := fmt.Fprintf(w, "data: %s\n", chunk[start:]); err != nil {
-			return err
-		}
-	}
-	_, err := w.Write([]byte("\n"))
-	return err
-}
+// The SSE delta stream built on Subscribe lives in internal/serve
+// (serve.StreamSSE), the repo's one HTTP serving layer — this package
+// keeps only the subscription primitive so it stays free of serving
+// concerns.

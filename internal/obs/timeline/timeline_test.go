@@ -280,17 +280,6 @@ func TestSubscribeDeltas(t *testing.T) {
 	}
 }
 
-func TestWriteSSEFraming(t *testing.T) {
-	rec := httptest.NewRecorder()
-	if err := writeSSE(rec, []byte("{\"a\":1}\n{\"b\":2}\n")); err != nil {
-		t.Fatal(err)
-	}
-	want := "data: {\"a\":1}\ndata: {\"b\":2}\n\n"
-	if rec.Body.String() != want {
-		t.Errorf("writeSSE = %q, want %q", rec.Body.String(), want)
-	}
-}
-
 func TestAppendFixed(t *testing.T) {
 	cases := []struct {
 		v    float64

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is the bounded result cache: encoded response bodies keyed by
+// normalized query + dataset generation. Ingest never walks the cache to
+// invalidate — a bumped generation changes every key, so stale entries
+// simply stop being looked up and age out of the LRU order.
+type lru struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached body for key, refreshing its recency.
+func (c *lru) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting from the cold end over capacity.
+func (c *lru) put(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.cap {
+		cold := c.order.Back()
+		c.order.Remove(cold)
+		delete(c.entries, cold.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the resident entry count.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// StreamSSE streams chunks from a subscription as server-sent events
+// until the source closes the channel or the client goes away. subscribe
+// is called once; its cancel runs when the stream ends. Each chunk may
+// span multiple newline-separated lines — every line becomes one `data:`
+// line of a single event, so the client reassembles the chunk by joining
+// the event's data lines with newlines.
+//
+// This is the one SSE loop in the tree: the timeline delta stream, the
+// sweep campaign event stream, and any Daemon stream all mount it.
+func StreamSSE(w http.ResponseWriter, r *http.Request, subscribe func() (<-chan []byte, func())) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	ch, cancel := subscribe()
+	defer cancel()
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case chunk, ok := <-ch:
+			if !ok {
+				return // source closed the stream
+			}
+			if err := writeSSE(w, chunk); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE frames one chunk as a single SSE event: every newline-ended
+// line becomes a data: line.
+func writeSSE(w io.Writer, chunk []byte) error {
+	start := 0
+	for i, b := range chunk {
+		if b != '\n' {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n", chunk[start:i]); err != nil {
+			return err
+		}
+		start = i + 1
+	}
+	if start < len(chunk) {
+		if _, err := fmt.Fprintf(w, "data: %s\n", chunk[start:]); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write([]byte("\n"))
+	return err
+}
+
+// WriteJSON writes v as a JSON response. The write error is consciously
+// dropped after the header went out — a client that hung up mid-response
+// is its own problem, not the server's.
+func WriteJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		return
+	}
+}

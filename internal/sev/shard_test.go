@@ -1,0 +1,265 @@
+package sev
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"dcnr/internal/topology"
+)
+
+// shardReports builds n valid reports spread across years, devices,
+// severities, and causes, with ID 0 (store-assigned).
+func shardReports(n, base int) []Report {
+	devices := []string{
+		"rsw001.cl001.dc1.ra", "csw001.cl001.dc1.ra", "csa001.dc1.ra",
+		"esw001.cl001.dc1.ra", "ssw001.cl001.dc1.ra",
+	}
+	out := make([]Report, n)
+	for i := range out {
+		k := base + i
+		out[i] = Report{
+			Severity:   Severity(1 + k%3),
+			Device:     devices[k%len(devices)],
+			Start:      float64((k * 37) % (n * 5)),
+			Duration:   1,
+			Resolution: float64(2 + k%7),
+			Year:       2011 + k%7,
+			RootCauses: []RootCause{RootCause(k % numRootCauses)},
+		}
+	}
+	return out
+}
+
+// TestAddAllMatchesAdd pins the batched ingest path against the
+// single-report path: same IDs, same report order, same index behavior
+// (window queries exercise the merged start-time index).
+func TestAddAllMatchesAdd(t *testing.T) {
+	reports := shardReports(200, 0)
+	one := NewStore()
+	for _, r := range reports {
+		if _, err := one.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := NewStore()
+	// Split across several batches so the byStart merge path runs with a
+	// non-empty existing run.
+	for i := 0; i < len(reports); i += 64 {
+		end := min(i+64, len(reports))
+		if _, err := batch.AddAll(reports[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := fmt.Sprint(batch.All()), fmt.Sprint(one.All()); got != want {
+		t.Fatal("AddAll and Add produced different stores")
+	}
+	for _, win := range [][2]float64{{0, 100}, {37, 612}, {500, 1000}} {
+		got := batch.Query().Since(win[0]).Until(win[1]).Count()
+		want := one.Query().Since(win[0]).Until(win[1]).Count()
+		if got != want {
+			t.Errorf("window [%g,%g): AddAll store counts %d, Add store %d", win[0], win[1], got, want)
+		}
+	}
+	if got, want := fmt.Sprint(batch.Query().Starts()), fmt.Sprint(one.Query().Starts()); got != want {
+		t.Error("Starts diverged between AddAll and Add stores")
+	}
+	if g := batch.Generation(); g != 4 {
+		t.Errorf("generation after 4 batches = %d, want 4", g)
+	}
+}
+
+// TestShardedMatchesStore cross-checks every fan-out aggregation against
+// a single Store loaded with the same reports.
+func TestShardedMatchesStore(t *testing.T) {
+	reports := shardReports(500, 0)
+	ref := NewStore()
+	if _, err := ref.AddAll(reports); err != nil {
+		t.Fatal(err)
+	}
+	sh := NewSharded(4)
+	defer sh.Close()
+	if _, err := sh.AddAll(reports); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Len() != ref.Len() {
+		t.Fatalf("sharded Len = %d, store Len = %d", sh.Len(), ref.Len())
+	}
+
+	refQ := ref.Query().Year(2013)
+	shQ := sh.Query().Year(2013)
+	if got, want := shQ.Count(), refQ.Count(); got != want {
+		t.Errorf("Year(2013).Count: sharded %d, store %d", got, want)
+	}
+	if got, want := fmt.Sprint(shQ.CountBySeverity()), fmt.Sprint(refQ.CountBySeverity()); got != want {
+		t.Errorf("CountBySeverity: sharded %s, store %s", got, want)
+	}
+	if got, want := fmt.Sprint(sh.Query().CountByYear()), fmt.Sprint(ref.Query().CountByYear()); got != want {
+		t.Errorf("CountByYear: sharded %s, store %s", got, want)
+	}
+	if got, want := fmt.Sprint(sh.Query().CountByDeviceType()), fmt.Sprint(ref.Query().CountByDeviceType()); got != want {
+		t.Errorf("CountByDeviceType: sharded %s, store %s", got, want)
+	}
+	if got, want := fmt.Sprint(sh.Query().CountByRootCause()), fmt.Sprint(ref.Query().CountByRootCause()); got != want {
+		t.Errorf("CountByRootCause: sharded %s, store %s", got, want)
+	}
+	if got, want := fmt.Sprint(sh.Query().CountByYearSeverity()), fmt.Sprint(ref.Query().CountByYearSeverity()); got != want {
+		t.Errorf("CountByYearSeverity: sharded %s, store %s", got, want)
+	}
+	if got, want := fmt.Sprint(sh.Query().CountByYearDesign()), fmt.Sprint(ref.Query().CountByYearDesign()); got != want {
+		t.Errorf("CountByYearDesign: sharded %s, store %s", got, want)
+	}
+	// Sample aggregations: compare as multisets via sorted render.
+	if got, want := fmt.Sprint(sh.Query().Starts()), fmt.Sprint(ref.Query().Starts()); got != want {
+		t.Errorf("Starts: sharded %s, store %s", got, want)
+	}
+	refRes := refQ.Resolutions()
+	shRes := shQ.Resolutions()
+	if len(refRes) != len(shRes) {
+		t.Errorf("Resolutions length: sharded %d, store %d", len(shRes), len(refRes))
+	}
+	// Window queries exercise the merged byStart index on every shard.
+	if got, want := sh.Query().Since(50).Until(500).Count(), ref.Query().Since(50).Until(500).Count(); got != want {
+		t.Errorf("window Count: sharded %d, store %d", got, want)
+	}
+}
+
+// TestShardedAddAllIDs pins the global ID contract: assigned IDs are
+// unique across shards, explicit IDs are preserved, and duplicates are
+// rejected without partial ingest.
+func TestShardedAddAllIDs(t *testing.T) {
+	sh := NewSharded(3)
+	defer sh.Close()
+	ids, err := sh.AddAll(shardReports(10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if id <= 0 || seen[id] {
+			t.Fatalf("assigned IDs not unique/positive: %v", ids)
+		}
+		seen[id] = true
+	}
+	explicit := shardReports(2, 20)
+	explicit[0].ID = 100
+	explicit[1].ID = 101
+	if _, err := sh.AddAll(explicit); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := sh.Get(100); err != nil || r.ID != 100 {
+		t.Errorf("Get(100) = %+v, %v", r, err)
+	}
+	dup := shardReports(1, 30)
+	dup[0].ID = 100
+	_, err = sh.AddAll(dup)
+	if err == nil || !strings.Contains(err.Error(), "duplicate report ID 100") {
+		t.Fatalf("duplicate explicit ID not rejected: %v", err)
+	}
+	if n := sh.Len(); n != 12 {
+		t.Errorf("Len after rejected batch = %d, want 12", n)
+	}
+	// Fresh assignments dodge the explicit range.
+	more, err := sh.AddAll(shardReports(3, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range more {
+		if id == 100 || id == 101 {
+			t.Errorf("fresh ID collided with explicit: %v", more)
+		}
+	}
+}
+
+// TestShardedGeneration pins the cache-invalidation contract: every
+// successful ingest bumps the generation exactly once; a rejected batch
+// does not.
+func TestShardedGeneration(t *testing.T) {
+	sh := NewSharded(2)
+	defer sh.Close()
+	if g := sh.Generation(); g != 0 {
+		t.Fatalf("fresh generation = %d", g)
+	}
+	if _, err := sh.AddAll(shardReports(4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if g := sh.Generation(); g != 1 {
+		t.Fatalf("generation after ingest = %d, want 1", g)
+	}
+	bad := shardReports(1, 5)
+	bad[0].Device = ""
+	if _, err := sh.AddAll(bad); err == nil {
+		t.Fatal("invalid report accepted")
+	}
+	if g := sh.Generation(); g != 1 {
+		t.Errorf("generation bumped by rejected batch: %d", g)
+	}
+}
+
+// TestShardedIngestWhileQuerying is the -race test from the issue:
+// concurrent AddAll batches and fan-out queries on every aggregation
+// must be data-race free and observe consistent (monotonic) counts.
+func TestShardedIngestWhileQuerying(t *testing.T) {
+	sh := NewSharded(4)
+	defer sh.Close()
+	if _, err := sh.AddAll(shardReports(100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 2
+		batches = 10
+		readers = 4
+	)
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for b := 0; b < batches; b++ {
+				if _, err := sh.AddAll(shardReports(20, 1000+w*10000+b*100)); err != nil {
+					t.Errorf("writer %d batch %d: %v", w, b, err)
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			last := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := sh.Query().Count()
+				if n < last {
+					t.Errorf("reader %d: count went backwards (%d -> %d)", r, last, n)
+					return
+				}
+				last = n
+				switch r % 4 {
+				case 0:
+					sh.Query().Year(2013).CountBySeverity()
+				case 1:
+					sh.Query().DeviceType(topology.RSW).Count()
+				case 2:
+					sh.Query().Since(10).Until(400).Count()
+				case 3:
+					sh.Query().ResolutionsByYear()
+				}
+			}
+		}(r)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if got, want := sh.Query().Count(), 100+writers*batches*20; got != want {
+		t.Errorf("final count = %d, want %d", got, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dcnr/internal/obs"
 	"dcnr/internal/topology"
@@ -18,12 +19,16 @@ import (
 // posting lists of report positions keyed by year, device type, severity,
 // network design, and root cause, plus an ID map — so the typed query API
 // (query.go) can intersect the smallest applicable lists instead of
-// scanning every report. Indexes are updated under the write lock on Add
-// and rebuilt wholesale on ReadJSON.
+// scanning every report. Indexes are updated under the write lock on Add,
+// extended once per batch on AddAll, and rebuilt wholesale on ReadJSON.
 type Store struct {
 	mu      sync.RWMutex
 	reports []Report
 	nextID  int
+
+	// gen counts dataset mutations (Add, AddAll, ReadJSON). Result caches
+	// key on it: a bumped generation invalidates every cached aggregation.
+	gen atomic.Uint64
 
 	// byID maps report ID → position in reports.
 	byID map[int]int
@@ -92,10 +97,10 @@ func (s *Store) resetIndexLocked(capacity int) {
 	s.byStart = make([]int, 0, capacity)
 }
 
-// indexLocked appends index entries for the report at position pos. The
-// report must already be validated (its device name parses). Caller holds
-// mu.
-func (s *Store) indexLocked(pos int) {
+// indexPostingsLocked appends every secondary-index entry except the
+// start-time index for the report at position pos. The report must
+// already be validated (its device name parses). Caller holds mu.
+func (s *Store) indexPostingsLocked(pos int) {
 	r := &s.reports[pos]
 	t, err := topology.ParseDeviceName(r.Device)
 	if err != nil {
@@ -119,6 +124,13 @@ func (s *Store) indexLocked(pos int) {
 		}
 		s.byCause[c] = append(s.byCause[c], pos)
 	}
+}
+
+// indexLocked appends index entries for the report at position pos — the
+// single-report path Add takes. Caller holds mu.
+func (s *Store) indexLocked(pos int) {
+	s.indexPostingsLocked(pos)
+	r := &s.reports[pos]
 	// Sorted insert into the time index. Simulated reports arrive in
 	// near-chronological order, so the search usually lands at the end and
 	// the copy moves nothing.
@@ -128,6 +140,47 @@ func (s *Store) indexLocked(pos int) {
 	s.byStart = append(s.byStart, 0)
 	copy(s.byStart[i+1:], s.byStart[i:])
 	s.byStart[i] = pos
+}
+
+// indexBatchLocked indexes positions [from, len(reports)) in one pass:
+// posting lists are appended per report, but the start-time index is
+// built by sorting the new positions once and merging them with the
+// existing run — O(k log k + n) per batch instead of the O(n·k) the
+// per-report sorted insert degrades to on out-of-order input. Caller
+// holds mu.
+func (s *Store) indexBatchLocked(from int) {
+	for pos := from; pos < len(s.reports); pos++ {
+		s.indexPostingsLocked(pos)
+	}
+	added := make([]int, 0, len(s.reports)-from)
+	for pos := from; pos < len(s.reports); pos++ {
+		added = append(added, pos)
+	}
+	// Stable by start time: equal starts keep position order, matching the
+	// insert-after-equals rule of the single-report path.
+	sort.SliceStable(added, func(i, j int) bool {
+		return s.reports[added[i]].Start < s.reports[added[j]].Start
+	})
+	if from == 0 || len(s.byStart) == 0 {
+		s.byStart = added
+		return
+	}
+	merged := make([]int, 0, len(s.byStart)+len(added))
+	i, j := 0, 0
+	for i < len(s.byStart) && j < len(added) {
+		// Existing entries win ties: every added position is greater, and
+		// the single-report path inserts after equal starts.
+		if s.reports[s.byStart[i]].Start <= s.reports[added[j]].Start {
+			merged = append(merged, s.byStart[i])
+			i++
+		} else {
+			merged = append(merged, added[j])
+			j++
+		}
+	}
+	merged = append(merged, s.byStart[i:]...)
+	merged = append(merged, added[j:]...)
+	s.byStart = merged
 }
 
 // startRangeLocked returns the positions of reports with Start in the
@@ -164,8 +217,63 @@ func (s *Store) Add(r Report) (int, error) {
 	s.nextID++
 	s.reports = append(s.reports, r)
 	s.indexLocked(len(s.reports) - 1)
+	s.gen.Add(1)
 	return r.ID, nil
 }
+
+// AddAll validates and appends a batch of reports, building the
+// secondary indexes once per batch instead of once per report. A report
+// with ID 0 is assigned a fresh ID; an explicit ID is preserved and must
+// not collide with the store or with the rest of the batch. On any
+// validation or duplicate-ID error the store is left unchanged. It
+// returns the IDs in input order.
+func (s *Store) AddAll(batch []Report) ([]int, error) {
+	for i := range batch {
+		if err := batch[i].Validate(); err != nil {
+			return nil, fmt.Errorf("sev: report %d invalid: %w", batch[i].ID, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Reject every explicit-ID collision before mutating anything.
+	seen := make(map[int]bool, len(batch))
+	for i := range batch {
+		id := batch[i].ID
+		if id == 0 {
+			continue
+		}
+		if _, taken := s.byID[id]; taken || seen[id] {
+			return nil, fmt.Errorf("sev: duplicate report ID %d in batch", id)
+		}
+		seen[id] = true
+	}
+	from := len(s.reports)
+	ids := make([]int, len(batch))
+	for i := range batch {
+		r := batch[i]
+		if r.ID == 0 {
+			// Dodge explicit IDs later in the batch: nextID always exceeds
+			// every ID already stored, but not ones still to be appended.
+			for seen[s.nextID] {
+				s.nextID++
+			}
+			r.ID = s.nextID
+			s.nextID++
+		} else if r.ID >= s.nextID {
+			s.nextID = r.ID + 1
+		}
+		ids[i] = r.ID
+		s.reports = append(s.reports, r)
+	}
+	s.indexBatchLocked(from)
+	s.gen.Add(1)
+	return ids, nil
+}
+
+// Generation returns the dataset generation: a counter bumped by every
+// successful Add, AddAll, and ReadJSON. Responses cached against a
+// generation are valid exactly while Generation still returns it.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
 
 // Len returns the number of stored reports.
 func (s *Store) Len() int {
@@ -228,8 +336,9 @@ func (s *Store) ReadJSON(r io.Reader) error {
 	s.reports = reports
 	s.nextID = maxID + 1
 	s.resetIndexLocked(len(reports))
-	for pos := range s.reports {
-		s.indexLocked(pos)
-	}
+	// The wholesale form of AddAll's batch path: one index build for the
+	// whole dataset instead of a sorted insert per report.
+	s.indexBatchLocked(0)
+	s.gen.Add(1)
 	return nil
 }

@@ -1,7 +1,6 @@
 package sweep
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
@@ -11,6 +10,7 @@ import (
 
 	"dcnr/internal/obs/journal"
 	"dcnr/internal/obs/timeline"
+	"dcnr/internal/serve"
 )
 
 // Run states as stored in a statusCell. The zero value is pending so a
@@ -393,12 +393,14 @@ func (s *Status) AttachTimeline(tl *timeline.Timeline) {
 func (s *Status) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/campaign", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.Snapshot())
+		serve.WriteJSON(w, s.Snapshot())
 	})
-	mux.HandleFunc("/campaign/events", s.serveEvents)
+	mux.HandleFunc("/campaign/events", func(w http.ResponseWriter, r *http.Request) {
+		serve.StreamSSE(w, r, s.subscribe)
+	})
 	mux.HandleFunc("/journal", func(w http.ResponseWriter, r *http.Request) {
 		sum, runs := s.JournalSummary()
-		writeJSON(w, struct {
+		serve.WriteJSON(w, struct {
 			Runs    int             `json:"runs_journaled"`
 			Summary journal.Summary `json:"summary"`
 		}{runs, sum})
@@ -412,54 +414,10 @@ func (s *Status) Handler() http.Handler {
 	})
 	mux.HandleFunc("/metrics/history/events", func(w http.ResponseWriter, r *http.Request) {
 		if tl := s.tl.Load(); tl != nil {
-			tl.ServeEvents(w, r)
+			serve.StreamSSE(w, r, tl.Subscribe)
 			return
 		}
 		http.NotFound(w, r)
 	})
 	return mux
-}
-
-// writeJSON writes v as a JSON response. The write error is consciously
-// dropped after the header went out — a client that hung up mid-response
-// is its own problem, not the campaign's.
-func writeJSON(w http.ResponseWriter, v any) {
-	data, err := json.Marshal(v)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if _, err := w.Write(append(data, '\n')); err != nil {
-		return
-	}
-}
-
-// serveEvents streams run-completion events as server-sent events until
-// the campaign finishes or the client goes away.
-func (s *Status) serveEvents(w http.ResponseWriter, r *http.Request) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	ch, cancel := s.subscribe()
-	defer cancel()
-	fl.Flush()
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case ev, ok := <-ch:
-			if !ok {
-				return // campaign finished
-			}
-			if _, err := fmt.Fprintf(w, "data: %s\n\n", ev); err != nil {
-				return
-			}
-			fl.Flush()
-		}
-	}
 }

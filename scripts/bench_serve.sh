@@ -1,0 +1,44 @@
+#!/bin/sh
+# Snapshot the serving-layer benchmark into BENCH_serve.json at the repo
+# root: dcnrload self-hosts a dcnrd daemon, replays the paper-figure
+# query mix at a rising concurrency ladder, and records qps, latency
+# percentiles, and cache hit-rate per step, so serving regressions are
+# diffable across PRs.
+#
+# The gate is machine-independent: every step must complete its requests
+# error-free with nonzero throughput, p99 must stay under a deliberately
+# generous bound, and the repeated mix must land some cache hits. Actual
+# qps numbers are recorded but never gated on.
+#
+# Usage: scripts/bench_serve.sh [smoke]
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT="BENCH_serve.json"
+
+if [ "${1:-}" = "smoke" ]; then
+	STEPS="1,2"
+	REQUESTS=200
+	REPORTS=2000
+else
+	STEPS="1,2,4,8"
+	REQUESTS=400
+	REPORTS=5000
+fi
+
+go run ./cmd/dcnrload -steps "$STEPS" -requests "$REQUESTS" \
+	-reports "$REPORTS" -out "$OUT"
+
+awk '
+	function num(s) { gsub(/[",]/, "", s); return s + 0 }
+	/"errors":/         { if (num($2) != 0) fail = "step reported request errors" }
+	/"qps":/            { if (num($2) <= 0) fail = "step reported zero qps" }
+	/"p99_ms":/         { if (num($2) > 5000) fail = "p99 above the 5s smoke bound" }
+	/"cache_hit_rate":/ { hit = num($2) }
+	END {
+		if (hit <= 0) fail = "no cache hits on the repeated mix"
+		if (fail) { print "bench-serve gate: " fail; exit 1 }
+	}
+' "$OUT"
+
+echo "bench-serve gate passed"

@@ -15,7 +15,11 @@
 #   8. bench-des   - smoke run of the DES kernel benchmarks; gates only on
 #                    the machine-independent invariant (0 allocs/op in
 #                    steady state), not on timings
-#   9. test-health - focused race pass over the SLO engine and its wiring;
+#   9. bench-serve - smoke run of the query-daemon load harness; gates
+#                    only on machine-independent invariants (error-free
+#                    steps, nonzero qps, generous p99 bound, cache hits
+#                    on the repeated mix), never on absolute timings
+#  10. test-health - focused race pass over the SLO engine and its wiring;
 #                    on failure an elevated-run SLO report is dumped to
 #                    health_slo_failure.json for triage
 #
@@ -44,6 +48,7 @@ step apicheck make apicheck
 step race make race
 step test-obs make test-obs
 step bench-des ./scripts/bench_des.sh smoke
+step bench-serve ./scripts/bench_serve.sh smoke
 
 # The health gate dumps a full /slo-shaped report from an elevated run on
 # failure, so a broken alert pipeline leaves its state behind as an
